@@ -1,0 +1,51 @@
+// Command imstats prints Table 2-style statistics for a graph file
+// (binary .ssg or text edge list).
+//
+//	imstats -graph nethept.ssg
+//	imstats -graph edges.txt -format text -directed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stopandstare/internal/graph"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "graph file (required)")
+		format   = flag.String("format", "binary", "binary or text")
+		directed = flag.Bool("directed", true, "text edge lists: one arc per line")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "imstats: missing -graph")
+		os.Exit(1)
+	}
+	var g *graph.Graph
+	var err error
+	switch *format {
+	case "binary":
+		g, err = graph.LoadBinaryFile(*path)
+	case "text":
+		g, err = graph.LoadEdgeListFile(*path, graph.LoadOptions{Directed: *directed, Relabel: true})
+	default:
+		err = fmt.Errorf("unknown -format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imstats: %v\n", err)
+		os.Exit(1)
+	}
+	s := g.Stats()
+	fmt.Printf("nodes:         %d\n", s.Nodes)
+	fmt.Printf("edges:         %d\n", s.Edges)
+	fmt.Printf("avg-degree:    %.2f\n", s.AvgOutDegree)
+	fmt.Printf("max-out-deg:   %d\n", s.MaxOutDegree)
+	fmt.Printf("max-in-deg:    %d\n", s.MaxInDegree)
+	fmt.Printf("isolated:      %d\n", s.Isolated)
+	fmt.Printf("max-in-weight: %.4f\n", s.MaxInWeight)
+	fmt.Printf("lt-valid:      %v\n", s.LTValid)
+	fmt.Printf("memory:        %.1f MB\n", float64(g.Bytes())/(1<<20))
+}

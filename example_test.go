@@ -1,0 +1,81 @@
+package stopandstare_test
+
+import (
+	"fmt"
+	"log"
+
+	"stopandstare"
+)
+
+// The basic workflow: generate (or load) a graph, maximize influence,
+// validate the result.
+func Example() {
+	g, err := stopandstare.GeneratePreset("nethept", 0.1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stopandstare.Maximize(g, stopandstare.LT, stopandstare.DSSA,
+		stopandstare.Options{K: 10, Epsilon: 0.1, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Seeds) == 10)
+	// Output: true
+}
+
+// ExampleMaximize_baselineComparison runs the same instance through the
+// paper's comparison set.
+func ExampleMaximize_baselineComparison() {
+	g, err := stopandstare.GeneratePowerLaw(2000, 10000, 2.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, algo := range []stopandstare.Algorithm{
+		stopandstare.DSSA, stopandstare.SSA, stopandstare.IMM,
+	} {
+		res, err := stopandstare.Maximize(g, stopandstare.IC, algo,
+			stopandstare.Options{K: 20, Epsilon: 0.2, Seed: 3, Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(algo, len(res.Seeds))
+	}
+	// Output:
+	// dssa 20
+	// ssa 20
+	// imm 20
+}
+
+// ExampleMaximizeTargeted shows the TVM variant with explicit weights.
+func ExampleMaximizeTargeted() {
+	g, err := stopandstare.GeneratePowerLaw(1000, 5000, 2.1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := make([]float64, g.NumNodes())
+	for v := 0; v < 100; v++ { // the first 100 users are the target group
+		weights[v] = 1
+	}
+	res, err := stopandstare.MaximizeTargeted(g, stopandstare.LT, weights,
+		stopandstare.DSSA, stopandstare.Options{K: 5, Epsilon: 0.2, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Seeds), res.Gamma)
+	// Output: 5 100
+}
+
+// ExampleCertifySpread scores a seed set with a rigorous error bound.
+func ExampleCertifySpread() {
+	g, err := stopandstare.GeneratePowerLaw(1000, 5000, 2.1, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := stopandstare.CertifySpread(g, stopandstare.IC,
+		[]uint32{1, 2, 3}, 0.1, 0.01, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cert.Influence > 3, cert.Epsilon)
+	// Output: true 0.1
+}

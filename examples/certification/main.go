@@ -1,0 +1,69 @@
+// Influence certification: after an IM run, how much is the chosen seed
+// set really worth? The classic answer is forward Monte-Carlo with a
+// standard error; the RIS-native answer — the same machinery the paper's
+// Estimate-Inf procedure uses — is a stopping-rule certificate with a
+// rigorous (ε,δ) bound, usually at a fraction of the cost.
+//
+// This example runs both on the same seed sets and compares cost and
+// agreement, and shows the §4.2 ε-split recommendation for SSA.
+//
+//	go run ./examples/certification
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"stopandstare"
+)
+
+func main() {
+	g, err := stopandstare.GeneratePreset("netphy", 1.0, 27)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+	workers := runtime.NumCPU()
+
+	// Tune SSA with the paper's §4.2 guidance for this network size.
+	e1, e2, e3, ok := stopandstare.RecommendedEpsilonSplit(0.1, g.NumEdges())
+	if !ok {
+		log.Fatal("no feasible split")
+	}
+	fmt.Printf("recommended SSA split for %d edges: e1=%.4f e2=%.4f e3=%.4f\n\n",
+		g.NumEdges(), e1, e2, e3)
+
+	for _, k := range []int{10, 100, 1000} {
+		res, err := stopandstare.Maximize(g, stopandstare.LT, stopandstare.SSA,
+			stopandstare.Options{K: k, Epsilon: 0.1, Seed: 5, Workers: workers,
+				Eps1: e1, Eps2: e2, Eps3: e3})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Rigorous certificate from fresh RR sets.
+		t0 := time.Now()
+		cert, err := stopandstare.CertifySpread(g, stopandstare.LT, res.Seeds, 0.05, 0.001, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		certTime := time.Since(t0)
+
+		// Forward Monte-Carlo for comparison.
+		t0 = time.Now()
+		mc, se, err := stopandstare.EvaluateSpread(g, stopandstare.LT, res.Seeds, 10000, 11, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcTime := time.Since(t0)
+
+		fmt.Printf("k=%-5d  certificate %.0f ± 5%% (w.p. 99.9%%) in %v (%d RR sets)\n",
+			k, cert.Influence, certTime, cert.Samples)
+		fmt.Printf("         monte-carlo %.0f ± %.0f (stderr)     in %v (10000 cascades)\n\n",
+			mc, se, mcTime)
+	}
+	fmt.Println("the two agree; the certificate carries a provable error bound and is")
+	fmt.Println("cheapest exactly when influence is small — where MC needs the most runs.")
+}

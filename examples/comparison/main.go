@@ -1,0 +1,84 @@
+// Algorithm anatomy: watch SSA's and D-SSA's stop-and-stare checkpoints on
+// the same instance, and see the sample-efficiency gap to the fixed-θ
+// generation of the earlier methods. This is the paper's core claim
+// (Theorems 3 and 6) made observable.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"stopandstare"
+)
+
+func main() {
+	g, err := stopandstare.GeneratePowerLaw(50000, 400000, 2.1, 19)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power-law network: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+	workers := runtime.NumCPU()
+
+	// Watch D-SSA stop and stare: the stream doubles at each checkpoint
+	// until the dynamically computed ε_t drops below ε.
+	fmt.Println("D-SSA checkpoints (LT, k=100, eps=0.1):")
+	fmt.Printf("%-6s  %10s  %10s  %10s  %8s\n", "iter", "rr-sets", "coverage", "eps_t", "stop?")
+	_, err = stopandstare.Maximize(g, stopandstare.LT, stopandstare.DSSA, stopandstare.Options{
+		K: 100, Epsilon: 0.1, Seed: 47, Workers: workers,
+		OnCheckpoint: func(c stopandstare.Checkpoint) {
+			fmt.Printf("%-6d  %10d  %10d  %10.4f  %8v\n",
+				c.Iteration, c.Samples, c.Coverage, c.EpsilonT, c.Passed)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Println("sample counts vs epsilon (LT, k=100) — tighter epsilon costs more:")
+	fmt.Printf("%-8s  %10s  %10s  %10s  %10s\n", "epsilon", "D-SSA", "SSA", "IMM", "TIM+")
+	for _, eps := range []float64{0.3, 0.2, 0.1, 0.05} {
+		counts := map[stopandstare.Algorithm]int64{}
+		for _, algo := range []stopandstare.Algorithm{
+			stopandstare.DSSA, stopandstare.SSA, stopandstare.IMM, stopandstare.TIMPlus,
+		} {
+			res, err := stopandstare.Maximize(g, stopandstare.LT, algo, stopandstare.Options{
+				K: 100, Epsilon: eps, Seed: 47, Workers: workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts[algo] = res.Samples
+		}
+		fmt.Printf("%-8.2f  %10d  %10d  %10d  %10d\n", eps,
+			counts[stopandstare.DSSA], counts[stopandstare.SSA],
+			counts[stopandstare.IMM], counts[stopandstare.TIMPlus])
+	}
+	fmt.Println()
+
+	fmt.Println("sample counts vs k (LT, eps=0.1) — D-SSA adapts, fixed-θ overshoots:")
+	fmt.Printf("%-6s  %10s  %10s  %10s\n", "k", "D-SSA", "SSA", "IMM")
+	for _, k := range []int{1, 10, 100, 1000} {
+		row := map[stopandstare.Algorithm]int64{}
+		for _, algo := range []stopandstare.Algorithm{
+			stopandstare.DSSA, stopandstare.SSA, stopandstare.IMM,
+		} {
+			res, err := stopandstare.Maximize(g, stopandstare.LT, algo, stopandstare.Options{
+				K: k, Epsilon: 0.1, Seed: 53, Workers: workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[algo] = res.Samples
+		}
+		fmt.Printf("%-6d  %10d  %10d  %10d\n", k,
+			row[stopandstare.DSSA], row[stopandstare.SSA], row[stopandstare.IMM])
+	}
+	fmt.Println()
+	fmt.Println("the paper's reading: SSA meets a type-1 minimum threshold for its fixed")
+	fmt.Println("epsilon split; D-SSA re-derives the split from data each checkpoint and")
+	fmt.Println("meets the type-2 minimum — never worse, often clearly better.")
+}

@@ -1,0 +1,65 @@
+// Targeted viral marketing (the paper's §7.3): instead of maximising total
+// reach, maximise reach into a topic-interested audience — here a synthetic
+// "politics" community extracted from simulated tweets, exactly mirroring
+// how the paper mines its Table 4 groups from Twitter keywords.
+//
+// Compares the paper's SSA/D-SSA (with weighted RIS sampling) against
+// KB-TIM, the prior state of the art for the problem.
+//
+//	go run ./examples/targetedmarketing
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"stopandstare"
+)
+
+func main() {
+	// A Twitter-shaped network at reduced scale.
+	g, err := stopandstare.GeneratePreset("twitter", 0.001, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topics, err := stopandstare.GenerateTopics(g, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d users, %d edges\n", g.NumNodes(), g.NumEdges())
+	for i, tp := range topics {
+		fmt.Printf("topic %d (%s): %d targeted users, total relevance %.0f\n",
+			i+1, tp.Name, tp.Users, tp.Gamma)
+	}
+	fmt.Println()
+
+	const k = 50
+	workers := runtime.NumCPU()
+	for i, tp := range topics {
+		fmt.Printf("--- topic %d, k = %d seeds, LT model ---\n", i+1, k)
+		fmt.Printf("%-7s  %12s  %10s  %14s\n", "algo", "time", "rr-sets", "benefit (sim)")
+		for _, algo := range []stopandstare.Algorithm{
+			stopandstare.DSSA, stopandstare.SSA, stopandstare.TIMPlus, // TIMPlus = KB-TIM here
+		} {
+			res, err := stopandstare.MaximizeTargeted(g, stopandstare.LT, tp.Weights, algo,
+				stopandstare.Options{K: k, Epsilon: 0.1, Seed: 23, Workers: workers})
+			if err != nil {
+				log.Fatal(err)
+			}
+			benefit, _, err := stopandstare.EvaluateBenefit(g, stopandstare.LT, tp.Weights,
+				res.Seeds, 5000, 29, workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := string(algo)
+			if algo == stopandstare.TIMPlus {
+				name = "kb-tim"
+			}
+			fmt.Printf("%-7s  %12v  %10d  %14.0f\n", name, res.Elapsed, res.Samples, benefit)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape (paper Fig. 8): same benefit, SSA/D-SSA up to")
+	fmt.Println("two orders of magnitude faster than KB-TIM.")
+}

@@ -1,0 +1,61 @@
+package baselines
+
+import (
+	"testing"
+
+	"stopandstare/internal/diffusion"
+)
+
+func TestBorgsBasic(t *testing.T) {
+	g := midGraph(t, 400, 2000, 71)
+	s := sampler(t, g, diffusion.IC)
+	// The true constant 48 is enormous by design; use a small C so the
+	// test finishes while exercising the width-threshold loop.
+	res, err := Borgs(s, BorgsOptions{
+		Options: Options{K: 5, Epsilon: 0.3, Seed: 73, Workers: 2},
+		C:       0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("%d seeds", len(res.Seeds))
+	}
+	if res.TotalSamples <= 0 || res.Iterations < 1 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	// Quality sanity: beats random.
+	bs, _, _ := diffusion.Spread(g, diffusion.IC, res.Seeds, diffusion.SpreadOptions{Runs: 4000, Seed: 79, Workers: 2})
+	rnd, _ := RandomSeeds(g, 5, 83)
+	rs, _, _ := diffusion.Spread(g, diffusion.IC, rnd, diffusion.SpreadOptions{Runs: 4000, Seed: 79, Workers: 2})
+	if bs < rs {
+		t.Fatalf("Borgs (%.1f) worse than random (%.1f)", bs, rs)
+	}
+}
+
+func TestBorgsWidthThresholdScalesWithC(t *testing.T) {
+	g := midGraph(t, 300, 1500, 89)
+	s := sampler(t, g, diffusion.LT)
+	small, err := Borgs(s, BorgsOptions{Options: Options{K: 2, Epsilon: 0.3, Seed: 1, Workers: 2}, C: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Borgs(s, BorgsOptions{Options: Options{K: 2, Epsilon: 0.3, Seed: 1, Workers: 2}, C: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalSamples <= small.TotalSamples {
+		t.Fatalf("larger C should need more samples: %d vs %d", big.TotalSamples, small.TotalSamples)
+	}
+}
+
+func TestBorgsValidation(t *testing.T) {
+	g := midGraph(t, 100, 500, 97)
+	s := sampler(t, g, diffusion.IC)
+	if _, err := Borgs(s, BorgsOptions{Options: Options{K: 0, Epsilon: 0.1}}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Borgs(nil, BorgsOptions{Options: Options{K: 1, Epsilon: 0.1}}); err == nil {
+		t.Fatal("nil sampler should fail")
+	}
+}

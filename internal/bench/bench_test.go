@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"stopandstare/internal/diffusion"
+)
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.Epsilon != 0.1 || c.Workers < 1 || c.ScaleMul != 1 || c.MCRuns != 10000 || c.Seed == 0 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	q := Config{Quick: true}.Normalize()
+	if q.MCRuns != 1000 {
+		t.Fatalf("quick MCRuns %d", q.MCRuns)
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	c := Config{Quick: true}.Normalize()
+	ks := c.KSweep(10000)
+	if len(ks) == 0 || ks[0] != 1 {
+		t.Fatalf("sweep %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("sweep not increasing: %v", ks)
+		}
+	}
+	// Overrides are clamped and deduped.
+	c.KValues = []int{0, 5, 5, 999999}
+	ks = c.KSweep(100)
+	want := []int{1, 5, 100}
+	if len(ks) != len(want) {
+		t.Fatalf("override sweep %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("override sweep %v want %v", ks, want)
+		}
+	}
+}
+
+func TestLoadDatasetQuick(t *testing.T) {
+	d, err := LoadDataset("nethept", Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph.NumNodes() == 0 || d.Scale <= 0 {
+		t.Fatalf("bad dataset %+v", d)
+	}
+	if _, err := LoadDataset("bogus", Config{}); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestRunIMAllAlgos(t *testing.T) {
+	d, err := LoadDataset("nethept", Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quick: true, Workers: 2, MCRuns: 500}
+	for _, algo := range []AlgoID{AlgoDSSA, AlgoSSA, AlgoIMM, AlgoTIM, AlgoTIMPlus, AlgoDegree, AlgoRandom} {
+		m, err := RunIM(d, diffusion.LT, algo, 10, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(m.Seeds) != 10 || m.Spread <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", algo, m)
+		}
+	}
+	if _, err := RunIM(d, diffusion.LT, AlgoID("bogus"), 10, cfg); err == nil {
+		t.Fatal("unknown algo should fail")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	// DESIGN.md §5 promises these artifact ids.
+	want := []string{"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table3", "table4", "fig8", "ablation-eps", "ablation-theta", "ablation-certify"}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(IDs()), len(want))
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find should reject unknown ids")
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll([]string{"nope"}, Config{Quick: true}, &buf); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	e, _ := Find("table2")
+	var buf bytes.Buffer
+	if err := e.Run(Config{Quick: true, Workers: 2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"nethept", "friendster", "lt-valid"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table2 output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable4Experiment(t *testing.T) {
+	e, _ := Find("table4")
+	var buf bytes.Buffer
+	if err := e.Run(Config{Quick: true, Workers: 2}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "topic") {
+		t.Fatalf("table4 output:\n%s", buf.String())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+		Notes:   []string{"note"},
+	}
+	tb.AddRow("x", 1)
+	tb.AddRow(int64(1500000), 2*time.Second)
+	tb.AddRow(3.14159, int64(12345))
+	var buf bytes.Buffer
+	if err := tb.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "# note") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5 M") {
+		t.Fatalf("count formatting missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00 s") {
+		t.Fatalf("duration formatting missing:\n%s", out)
+	}
+	var csv bytes.Buffer
+	if err := tb.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "a,bb\n") {
+		t.Fatalf("csv output:\n%s", csv.String())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[int64]string{
+		999:        "999",
+		15000:      "15 K",
+		2500000:    "2.5 M",
+		3000000000: "3.0 G",
+	}
+	for v, want := range cases {
+		if got := formatCount(v); got != want {
+			t.Fatalf("formatCount(%d) = %q want %q", v, got, want)
+		}
+	}
+	if formatBytes(2048) != "2.00 KB" {
+		t.Fatalf("formatBytes: %s", formatBytes(2048))
+	}
+	if formatBytes(3<<20) != "3.00 MB" {
+		t.Fatalf("formatBytes: %s", formatBytes(3<<20))
+	}
+	durs := map[time.Duration]string{
+		500 * time.Microsecond: "500 µs",
+		30 * time.Millisecond:  "30 ms",
+		90 * time.Minute:       "1.50 h",
+	}
+	for d, want := range durs {
+		if got := formatDuration(d); got != want {
+			t.Fatalf("formatDuration(%v) = %q want %q", d, got, want)
+		}
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("enron") != hashName("enron") {
+		t.Fatal("hashName not deterministic")
+	}
+	if hashName("enron") == hashName("orkut") {
+		t.Fatal("hashName collision on preset names")
+	}
+}
+
+func TestAblationCertifyExperiment(t *testing.T) {
+	e, ok := Find("ablation-certify")
+	if !ok {
+		t.Fatal("ablation-certify not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Config{Quick: true, Workers: 2, MCRuns: 500}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "certificate") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,9 @@
+package bench
+
+import "time"
+
+// timeNow/timeSince are trivial indirections kept for symmetry with the
+// metric helpers; experiments use them so a future harness can inject a
+// fake clock if table goldens are ever wanted.
+func timeNow() time.Time                  { return time.Now() }
+func timeSince(t time.Time) time.Duration { return time.Since(t) }

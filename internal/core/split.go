@@ -1,0 +1,68 @@
+package core
+
+import (
+	"stopandstare/internal/stats"
+)
+
+// NetworkRegime classifies a network by size for the §4.2 ε-split
+// guidance: the paper observes that SSA performs best with ε₁ > ε ≈ ε₃ on
+// small networks, ε₁ ≈ ε ≈ ε₃ on moderate ones (a few million edges), and
+// ε₁ ≪ ε₂ ≈ ε₃ on large ones (hundreds of millions of edges).
+type NetworkRegime int
+
+// Regimes per §4.2.
+const (
+	SmallNetwork    NetworkRegime = iota // below ~1M edges
+	ModerateNetwork                      // a few million edges
+	LargeNetwork                         // hundreds of millions of edges
+)
+
+// RegimeFor buckets an edge count into the paper's three regimes.
+func RegimeFor(edges int64) NetworkRegime {
+	switch {
+	case edges < 1_000_000:
+		return SmallNetwork
+	case edges < 100_000_000:
+		return ModerateNetwork
+	default:
+		return LargeNetwork
+	}
+}
+
+// RecommendedSplit returns an (ε₁,ε₂,ε₃) satisfying Eq. 18 with equality,
+// shaped by the §4.2 guidance for the network regime. ε₂ = ε₃ are solved
+// from Eq. 18 once ε₁ is fixed to the regime's ratio of ε (clamped to the
+// feasible range ε₁ < ε/(1−1/e−ε)). Returns ok=false if ε is outside
+// (0, 1−1/e).
+func RecommendedSplit(eps float64, regime NetworkRegime) (e1, e2, e3 float64, ok bool) {
+	c := stats.OneMinusInvE
+	if !(eps > 0 && eps < c) {
+		return 0, 0, 0, false
+	}
+	var ratio float64
+	switch regime {
+	case SmallNetwork:
+		ratio = 2 // ε₁ > ε
+	case ModerateNetwork:
+		ratio = 1 // ε₁ ≈ ε
+	default:
+		ratio = 0.125 // ε₁ ≪ ε₂ ≈ ε₃
+	}
+	e1 = ratio * eps
+	// Feasibility of ε₂ = ε₃ = x > 0 in Eq. 18 requires
+	// ε(1+ε₁) > (1−1/e)·ε₁, i.e. ε₁ < ε/(1−1/e−ε).
+	if limit := eps / (c - eps); e1 >= limit {
+		e1 = 0.9 * limit
+	}
+	// Solve (1−1/e)(ε₁ + 2x + ε₁x) = ε(1+ε₁)(1+x) for x.
+	num := eps*(1+e1) - c*e1
+	den := 2*c + c*e1 - eps*(1+e1)
+	if num <= 0 || den <= 0 {
+		return 0, 0, 0, false
+	}
+	x := num / den
+	if x <= 0 || x >= 1 {
+		return 0, 0, 0, false
+	}
+	return e1, x, x, true
+}

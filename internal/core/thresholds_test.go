@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stopandstare/internal/diffusion"
+)
+
+func TestNmaxMonotoneInEpsilon(t *testing.T) {
+	g := midGraph(t, 1000, 5000, 211)
+	s := sampler(t, g, diffusion.IC)
+	f := func(raw uint8) bool {
+		eps := 0.05 + float64(raw%50)/100 // 0.05 .. 0.54
+		if eps >= 0.6 {
+			return true
+		}
+		o1 := Options{K: 10, Epsilon: eps, Delta: 0.001, OptLowerBound: 10}
+		o2 := Options{K: 10, Epsilon: eps + 0.05, Delta: 0.001, OptLowerBound: 10}
+		n1, _ := o1.thresholds(s)
+		n2, _ := o2.thresholds(s)
+		return n2 < n1 // larger ε ⇒ fewer samples needed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNmaxMonotoneInDelta(t *testing.T) {
+	g := midGraph(t, 1000, 5000, 223)
+	s := sampler(t, g, diffusion.IC)
+	o1 := Options{K: 10, Epsilon: 0.1, Delta: 0.01, OptLowerBound: 10}
+	o2 := Options{K: 10, Epsilon: 0.1, Delta: 0.001, OptLowerBound: 10}
+	n1, _ := o1.thresholds(s)
+	n2, _ := o2.thresholds(s)
+	if n2 <= n1 {
+		t.Fatal("smaller δ must require more samples")
+	}
+}
+
+func TestEpsSplitAlwaysSatisfiesEq18(t *testing.T) {
+	// For any ε in the valid range, the default split satisfies Eq. 18
+	// with equality and positive components.
+	f := func(raw uint16) bool {
+		eps := 0.01 + float64(raw%600)/1000 // 0.01 .. 0.60
+		if eps >= 0.63 {
+			return true
+		}
+		o := Options{Epsilon: eps}
+		e1, e2, e3, err := o.epsSplit()
+		if err != nil {
+			return false
+		}
+		if e1 <= 0 || e2 <= 0 || e2 >= 1 || e3 <= 0 || e3 >= 1 {
+			return false
+		}
+		c := 1 - 1/2.718281828459045
+		lhs := c * (e1 + e2 + e1*e2 + e3) / ((1 + e1) * (1 + e2))
+		return lhs <= eps*(1+1e-9) && lhs >= eps*(1-1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationBudgetScalesLogarithmically(t *testing.T) {
+	g := midGraph(t, 1000, 5000, 227)
+	s := sampler(t, g, diffusion.IC)
+	o := Options{K: 10, Epsilon: 0.1, Delta: 0.001, OptLowerBound: 10}
+	_, imax := o.thresholds(s)
+	if imax < 2 || imax > 64 {
+		t.Fatalf("imax = %d outside the O(log n) regime", imax)
+	}
+}

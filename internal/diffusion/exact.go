@@ -1,0 +1,162 @@
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+
+	"stopandstare/internal/graph"
+)
+
+// ErrTooLarge reports a graph too big for exact possible-world enumeration.
+var ErrTooLarge = errors.New("diffusion: graph too large for exact evaluation")
+
+// maxExactStates caps the number of possible worlds enumerated.
+const maxExactStates = 1 << 22
+
+// ExactIC computes the exact influence spread I(S) under IC by enumerating
+// all 2^m live-edge outcomes (Kempe et al.'s live-edge view of IC: each edge
+// is live independently with probability w). Only feasible for tiny graphs;
+// used by tests to validate the simulators and Lemma 1.
+func ExactIC(g *graph.Graph, seeds []uint32) (float64, error) {
+	m := g.NumEdges()
+	if m > 22 {
+		return 0, fmt.Errorf("%w: m=%d edges (max 22)", ErrTooLarge, m)
+	}
+	type edge struct {
+		u, v uint32
+		w    float64
+	}
+	edges := make([]edge, 0, m)
+	for u := 0; u < g.NumNodes(); u++ {
+		adj, ws := g.OutNeighbors(uint32(u))
+		for i, v := range adj {
+			edges = append(edges, edge{uint32(u), v, float64(ws[i])})
+		}
+	}
+	n := g.NumNodes()
+	adjLive := make([][]uint32, n)
+	visited := make([]bool, n)
+	queue := make([]uint32, 0, n)
+	total := 0.0
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		p := 1.0
+		for i := range adjLive {
+			adjLive[i] = adjLive[i][:0]
+		}
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				p *= e.w
+				adjLive[e.u] = append(adjLive[e.u], e.v)
+			} else {
+				p *= 1 - e.w
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		for _, s := range seeds {
+			if !visited[s] {
+				visited[s] = true
+				queue = append(queue, s)
+			}
+		}
+		count := len(queue)
+		for head := 0; head < len(queue); head++ {
+			for _, v := range adjLive[queue[head]] {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, v)
+					count++
+				}
+			}
+		}
+		total += p * float64(count)
+	}
+	return total, nil
+}
+
+// ExactLT computes the exact influence spread I(S) under LT using the
+// live-edge characterisation (Kempe et al.): each node independently picks
+// at most one incoming edge, edge (u,v) with probability w(u,v) and none
+// with probability 1 − Σ_u w(u,v); I(S) is the expected number of nodes
+// reachable from S in the induced branching.
+func ExactLT(g *graph.Graph, seeds []uint32) (float64, error) {
+	n := g.NumNodes()
+	states := 1
+	for v := 0; v < n; v++ {
+		states *= g.InDegree(uint32(v)) + 1
+		if states > maxExactStates {
+			return 0, fmt.Errorf("%w: live-edge state space exceeds %d", ErrTooLarge, maxExactStates)
+		}
+	}
+	choice := make([]int, n) // choice[v] in [0, din(v)]; din(v) means "none"
+	visited := make([]bool, n)
+	queue := make([]uint32, 0, n)
+	// adjacency of the current branching, forward orientation
+	adjLive := make([][]uint32, n)
+	total := 0.0
+	var rec func(v int, p float64)
+	rec = func(v int, p float64) {
+		if p == 0 {
+			return
+		}
+		if v == n {
+			// materialise branching: node x's chosen in-edge (u -> x)
+			for i := range adjLive {
+				adjLive[i] = adjLive[i][:0]
+			}
+			for x := 0; x < n; x++ {
+				inAdj, _ := g.InNeighbors(uint32(x))
+				if choice[x] < len(inAdj) {
+					u := inAdj[choice[x]]
+					adjLive[u] = append(adjLive[u], uint32(x))
+				}
+			}
+			for i := range visited {
+				visited[i] = false
+			}
+			queue = queue[:0]
+			for _, s := range seeds {
+				if !visited[s] {
+					visited[s] = true
+					queue = append(queue, s)
+				}
+			}
+			count := len(queue)
+			for head := 0; head < len(queue); head++ {
+				for _, x := range adjLive[queue[head]] {
+					if !visited[x] {
+						visited[x] = true
+						queue = append(queue, x)
+						count++
+					}
+				}
+			}
+			total += p * float64(count)
+			return
+		}
+		_, ws := g.InNeighbors(uint32(v))
+		sum := 0.0
+		for i, w := range ws {
+			choice[v] = i
+			rec(v+1, p*float64(w))
+			sum += float64(w)
+		}
+		choice[v] = len(ws)
+		rec(v+1, p*(1-sum))
+	}
+	rec(0, 1)
+	return total, nil
+}
+
+// Exact dispatches to ExactIC or ExactLT.
+func Exact(g *graph.Graph, model Model, seeds []uint32) (float64, error) {
+	if model == IC {
+		return ExactIC(g, seeds)
+	}
+	return ExactLT(g, seeds)
+}

@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"stopandstare/internal/graph"
+	"stopandstare/internal/rng"
+)
+
+// Topic is a synthetic stand-in for the paper's Table 4 tweet-derived topics
+// ("bill clinton, iran, north korea, ..." etc.): a keyword set plus a
+// per-node relevance weight proportional to how often the node's synthetic
+// tweets contain the topic's keywords. Nodes with weight 0 are outside the
+// targeted group.
+type Topic struct {
+	Name     string
+	Keywords []string
+	// Weights[v] is node v's benefit b(v) ≥ 0; the TVM objective maximises
+	// Σ_v b(v)·Pr[v activated].
+	Weights []float64
+	// Users is the number of nodes with positive weight (Table 4 column).
+	Users int
+	// Gamma is Σ_v Weights[v] (Γ in the WRIS analysis).
+	Gamma float64
+}
+
+// TopicSpec parameterises the synthetic interest model.
+type TopicSpec struct {
+	Name     string
+	Keywords []string
+	// Fraction of nodes interested in the topic (Table 4: 997,034/41.7M ≈
+	// 2.4% for topic 1; 507,465/41.7M ≈ 1.2% for topic 2).
+	Fraction float64
+	// ZipfS is the Zipf exponent of keyword-mention counts per user.
+	ZipfS float64
+}
+
+// DefaultTopicSpecs mirrors Table 4 of the paper.
+var DefaultTopicSpecs = []TopicSpec{
+	{
+		Name:     "topic1-politics",
+		Keywords: []string{"bill clinton", "iran", "north korea", "president obama", "obama"},
+		Fraction: 0.024,
+		ZipfS:    1.5,
+	},
+	{
+		Name:     "topic2-entertainment",
+		Keywords: []string{"senator ted kenedy", "oprah", "kayne west", "marvel", "jackass"},
+		Fraction: 0.012,
+		ZipfS:    1.5,
+	},
+}
+
+// GenerateTopic synthesises a targeted group over g following spec.
+// Interest is correlated with (in-degree+1)^0.3 — heavier users tweet more —
+// and mention counts follow a Zipf(s) distribution, matching the skewed
+// relevance weights the paper extracts from real tweets (§7.3.2).
+func GenerateTopic(g *graph.Graph, spec TopicSpec, seed uint64) (*Topic, error) {
+	if spec.Fraction <= 0 || spec.Fraction > 1 {
+		return nil, fmt.Errorf("gen: topic fraction must be in (0,1], got %v", spec.Fraction)
+	}
+	if spec.ZipfS <= 1 {
+		return nil, fmt.Errorf("gen: Zipf exponent must exceed 1, got %v", spec.ZipfS)
+	}
+	n := g.NumNodes()
+	r := rng.New(seed)
+	t := &Topic{Name: spec.Name, Keywords: spec.Keywords, Weights: make([]float64, n)}
+	// Interest probability per node, scaled so the expected targeted-group
+	// size is Fraction*n while remaining degree-correlated.
+	prop := make([]float64, n)
+	total := 0.0
+	for v := 0; v < n; v++ {
+		prop[v] = math.Pow(float64(g.InDegree(uint32(v))+1), 0.3)
+		total += prop[v]
+	}
+	scale := spec.Fraction * float64(n) / total
+	for v := 0; v < n; v++ {
+		p := prop[v] * scale
+		if p > 1 {
+			p = 1
+		}
+		if r.Float64() < p {
+			// Zipf-distributed mention count via inverse transform on the
+			// continuous approximation: count = floor(u^(-1/(s-1))).
+			u := r.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			count := math.Floor(math.Pow(u, -1/(spec.ZipfS-1)))
+			if count > 1e6 {
+				count = 1e6
+			}
+			if count < 1 {
+				count = 1
+			}
+			t.Weights[v] = count
+			t.Users++
+			t.Gamma += count
+		}
+	}
+	if t.Users == 0 {
+		return nil, fmt.Errorf("gen: topic %q produced an empty targeted group", spec.Name)
+	}
+	return t, nil
+}
+
+// GenerateDefaultTopics produces the two Table 4 stand-in topics over g.
+func GenerateDefaultTopics(g *graph.Graph, seed uint64) ([]*Topic, error) {
+	out := make([]*Topic, 0, len(DefaultTopicSpecs))
+	for i, spec := range DefaultTopicSpecs {
+		t, err := GenerateTopic(g, spec, seed+uint64(i)*0x9E37)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

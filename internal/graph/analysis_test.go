@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"testing"
+
+	"stopandstare/internal/rng"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	g := diamond(t)
+	h := g.Degrees()
+	// diamond: out-degrees 2,1,1,0 → buckets {0:1, 1:2, 2:1}
+	want := map[int]int{0: 1, 1: 2, 2: 1}
+	if len(h.Out) != len(want) {
+		t.Fatalf("out buckets %v", h.Out)
+	}
+	for _, b := range h.Out {
+		if want[b.Degree] != b.Count {
+			t.Fatalf("bucket %+v", b)
+		}
+	}
+	total := 0
+	for _, b := range h.In {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("in histogram covers %d nodes", total)
+	}
+	// Sorted ascending.
+	for i := 1; i < len(h.Out); i++ {
+		if h.Out[i-1].Degree >= h.Out[i].Degree {
+			t.Fatal("histogram not sorted")
+		}
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(2, 1, 0.5) // {0,1,2}
+	b.AddEdge(3, 4, 0.5) // {3,4}
+	// 5, 6 isolated
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, sizes := g.WeaklyConnectedComponents()
+	if len(sizes) != 4 {
+		t.Fatalf("want 4 components, got %v", sizes)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if labels[3] != labels[4] {
+		t.Fatal("3,4 should share a component")
+	}
+	if labels[5] == labels[6] || labels[5] == labels[0] {
+		t.Fatal("isolated nodes must be their own components")
+	}
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 7 {
+		t.Fatalf("component sizes sum to %d", sum)
+	}
+	if f := g.LargestComponentFraction(); f != 3.0/7 {
+		t.Fatalf("largest fraction %v", f)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := diamond(t)
+	sub, remap, err := g.Subgraph([]uint32{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 {
+		t.Fatalf("n=%d", sub.NumNodes())
+	}
+	// Edges kept: 0->1 and 1->3; edge through removed node 2 is gone.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("m=%d", sub.NumEdges())
+	}
+	if w, ok := sub.EdgeWeight(remap[0], remap[1]); !ok || w != 0.5 {
+		t.Fatalf("w=%v ok=%v", w, ok)
+	}
+	if _, ok := sub.EdgeWeight(remap[0], remap[3]); ok {
+		t.Fatal("phantom edge in subgraph")
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := g.Subgraph(nil); err == nil {
+		t.Fatal("empty subgraph should fail")
+	}
+	if _, _, err := g.Subgraph([]uint32{0, 99}); err == nil {
+		t.Fatal("out-of-range node should fail")
+	}
+	if _, _, err := g.Subgraph([]uint32{0, 0}); err == nil {
+		t.Fatal("duplicate node should fail")
+	}
+}
+
+func TestReverseTwiceIsIdentity(t *testing.T) {
+	r := rng.New(7)
+	b := NewBuilder(20)
+	for i := 0; i < 80; i++ {
+		b.AddEdge(uint32(r.Intn(20)), uint32(r.Intn(20)), r.Float64())
+	}
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := g.Reverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.NumEdges() != g.NumEdges() {
+		t.Fatal("reverse changed edge count")
+	}
+	// every edge flipped
+	for u := 0; u < 20; u++ {
+		adj, ws := g.OutNeighbors(uint32(u))
+		for i, v := range adj {
+			w, ok := rev.EdgeWeight(v, uint32(u))
+			if !ok || float32(w) != ws[i] {
+				t.Fatalf("edge (%d,%d) not reversed correctly", u, v)
+			}
+		}
+	}
+	back, err := rev.Reverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ {
+		a1, w1 := g.OutNeighbors(uint32(u))
+		a2, w2 := back.OutNeighbors(uint32(u))
+		if len(a1) != len(a2) {
+			t.Fatal("double reverse changed degrees")
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatal("double reverse not identity")
+			}
+		}
+	}
+}
+
+func TestLargestComponentOnGenerated(t *testing.T) {
+	// A reasonably dense ER graph should be mostly one component.
+	r := rng.New(13)
+	b := NewBuilder(200)
+	for i := 0; i < 1200; i++ {
+		b.AddEdge(uint32(r.Intn(200)), uint32(r.Intn(200)), 0.5)
+	}
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := g.LargestComponentFraction(); f < 0.9 {
+		t.Fatalf("dense ER graph fragmented: %v", f)
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList checks the text parser never panics and that any graph
+// it accepts satisfies the CSR invariants.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1 0.5\n1 2\n")
+	f.Add("# comment\n3 4 1.0\n")
+	f.Add("0 0 0.1\n")
+	f.Add("10 20 0.3 extra\n")
+	f.Add("")
+	f.Add("x y z\n")
+	f.Add("0 1 -0.5\n")
+	f.Add("0 1 2.5\n")
+	f.Add("18446744073709551615 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := LoadEdgeList(strings.NewReader(input), LoadOptions{Directed: true, Relabel: true})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		n := g.NumNodes()
+		if n <= 0 {
+			t.Fatal("accepted graph with no nodes")
+		}
+		var m int64
+		for v := 0; v < n; v++ {
+			adj, ws := g.OutNeighbors(uint32(v))
+			m += int64(len(adj))
+			for i, u := range adj {
+				if int(u) >= n {
+					t.Fatal("out-of-range adjacency")
+				}
+				if w := ws[i]; w < 0 || w > 1 {
+					t.Fatalf("weight %v outside [0,1]", w)
+				}
+			}
+		}
+		if m != g.NumEdges() {
+			t.Fatal("edge count mismatch")
+		}
+	})
+}
+
+// FuzzLoadBinary checks the binary loader rejects corrupt input without
+// panicking or accepting inconsistent graphs.
+func FuzzLoadBinary(f *testing.F) {
+	// Seed with a valid file and some mutations.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	b.AddEdge(3, 4, 1)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.SaveBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 30 {
+		corrupt[28] ^= 0xFF
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := LoadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		n := g.NumNodes()
+		for v := 0; v < n; v++ {
+			adj, _ := g.OutNeighbors(uint32(v))
+			for _, u := range adj {
+				if int(u) >= n {
+					t.Fatal("out-of-range adjacency in accepted binary graph")
+				}
+			}
+		}
+	})
+}

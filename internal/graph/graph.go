@@ -1,0 +1,171 @@
+// Package graph implements the directed, edge-weighted network substrate the
+// paper operates on (§2): G = (V, E, w) with w(u,v) ∈ [0,1] interpreted as
+// influence probabilities. The representation is a dual CSR (compressed
+// sparse row) — one adjacency in forward orientation for diffusion
+// simulation, one in reverse orientation for RIS sampling — plus per-node
+// cumulative in-weights so the LT reverse walk can pick an in-neighbour
+// proportionally to w(u,v) in O(log d_in(v)).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable directed weighted graph in dual-CSR form.
+// Node ids are dense in [0, NumNodes()).
+type Graph struct {
+	n      int
+	outIdx []int64   // len n+1
+	outAdj []uint32  // len m, per-source sorted by destination
+	outW   []float32 // parallel to outAdj
+	inIdx  []int64   // len n+1
+	inAdj  []uint32  // len m, per-destination sorted by source
+	inW    []float32 // parallel to inAdj
+	inCum  []float64 // per-destination running sums of inW (for LT sampling)
+	inSum  []float64 // total incoming weight per node
+}
+
+// Errors returned by construction and validation.
+var (
+	ErrNoNodes     = errors.New("graph: graph must have at least one node")
+	ErrBadEndpoint = errors.New("graph: edge endpoint out of range")
+	ErrBadWeight   = errors.New("graph: edge weight outside [0,1]")
+	ErrLTViolation = errors.New("graph: LT model requires sum of incoming weights <= 1")
+)
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E| (after de-duplication and self-loop removal).
+func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v uint32) int {
+	return int(g.outIdx[v+1] - g.outIdx[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v uint32) int {
+	return int(g.inIdx[v+1] - g.inIdx[v])
+}
+
+// OutNeighbors returns v's out-neighbour ids and the matching edge weights.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v uint32) ([]uint32, []float32) {
+	lo, hi := g.outIdx[v], g.outIdx[v+1]
+	return g.outAdj[lo:hi], g.outW[lo:hi]
+}
+
+// InNeighbors returns v's in-neighbour ids and the matching edge weights.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) InNeighbors(v uint32) ([]uint32, []float32) {
+	lo, hi := g.inIdx[v], g.inIdx[v+1]
+	return g.inAdj[lo:hi], g.inW[lo:hi]
+}
+
+// InWeightSum returns Σ_u w(u,v), the total incoming influence weight of v.
+// Under the LT model this must be ≤ 1 (§2.1).
+func (g *Graph) InWeightSum(v uint32) float64 { return g.inSum[v] }
+
+// SampleLTInNeighbor maps a uniform draw u01 ∈ [0,1) to the LT reverse-walk
+// step at node v: with probability InWeightSum(v) it returns an in-neighbour
+// chosen proportionally to its edge weight, otherwise ok=false (the walk
+// stops, i.e. v's threshold was not met by any single live edge).
+func (g *Graph) SampleLTInNeighbor(v uint32, u01 float64) (u uint32, ok bool) {
+	if u01 >= g.inSum[v] {
+		return 0, false
+	}
+	lo, hi := int(g.inIdx[v]), int(g.inIdx[v+1])
+	// First index i in [lo,hi) with inCum[i] > u01.
+	i := lo + sort.Search(hi-lo, func(k int) bool { return g.inCum[lo+k] > u01 })
+	if i >= hi { // numerical edge: u01 == inSum(v) after rounding
+		i = hi - 1
+	}
+	return g.inAdj[i], true
+}
+
+// EdgeWeight returns w(u,v) and whether the edge (u,v) exists.
+func (g *Graph) EdgeWeight(u, v uint32) (float64, bool) {
+	lo, hi := int(g.outIdx[u]), int(g.outIdx[u+1])
+	i := lo + sort.Search(hi-lo, func(k int) bool { return g.outAdj[lo+k] >= v })
+	if i < hi && g.outAdj[i] == v {
+		return float64(g.outW[i]), true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	_, ok := g.EdgeWeight(u, v)
+	return ok
+}
+
+// CheckLT validates the LT side condition Σ_u w(u,v) ≤ 1 for every node,
+// returning a descriptive error for the first violation.
+func (g *Graph) CheckLT() error {
+	const tol = 1e-6
+	for v := 0; v < g.n; v++ {
+		if g.inSum[v] > 1+tol {
+			return fmt.Errorf("%w: node %d has incoming weight %.6f", ErrLTViolation, v, g.inSum[v])
+		}
+	}
+	return nil
+}
+
+// Bytes returns the approximate in-memory footprint of the graph arrays.
+func (g *Graph) Bytes() int64 {
+	b := int64(len(g.outIdx)+len(g.inIdx)) * 8
+	b += int64(len(g.outAdj)+len(g.inAdj)) * 4
+	b += int64(len(g.outW)+len(g.inW)) * 4
+	b += int64(len(g.inCum)+len(g.inSum)) * 8
+	return b
+}
+
+// Stats summarises a graph (Table 2 columns plus a few extras).
+type Stats struct {
+	Nodes        int
+	Edges        int64
+	AvgOutDegree float64
+	MaxOutDegree int
+	MaxInDegree  int
+	Isolated     int     // nodes with no in- or out-edges
+	MaxInWeight  float64 // max over v of Σ_u w(u,v)
+	LTValid      bool
+}
+
+// Stats computes summary statistics in one pass.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: g.n, Edges: g.NumEdges(), LTValid: true}
+	if g.n > 0 {
+		s.AvgOutDegree = float64(s.Edges) / float64(g.n)
+	}
+	for v := 0; v < g.n; v++ {
+		od := int(g.outIdx[v+1] - g.outIdx[v])
+		id := int(g.inIdx[v+1] - g.inIdx[v])
+		if od > s.MaxOutDegree {
+			s.MaxOutDegree = od
+		}
+		if id > s.MaxInDegree {
+			s.MaxInDegree = id
+		}
+		if od == 0 && id == 0 {
+			s.Isolated++
+		}
+		if g.inSum[v] > s.MaxInWeight {
+			s.MaxInWeight = g.inSum[v]
+		}
+	}
+	if s.MaxInWeight > 1+1e-6 {
+		s.LTValid = false
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d avgdeg=%.2f}", g.n, g.NumEdges(),
+		float64(g.NumEdges())/math.Max(1, float64(g.n)))
+}

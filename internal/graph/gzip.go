@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// LoadEdgeListFileAuto loads a text edge list, transparently decompressing
+// when the path ends in ".gz" — the format SNAP distributes its datasets
+// in, so downstream users can point the loader at the original archives.
+func LoadEdgeListFileAuto(path string, opt LoadOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return LoadEdgeList(r, opt)
+}
+
+// SaveEdgeListFileAuto writes a text edge list, gzip-compressing when the
+// path ends in ".gz".
+func (g *Graph) SaveEdgeListFileAuto(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	if err := g.SaveEdgeList(w); err != nil {
+		f.Close()
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadOptions controls text edge-list parsing.
+type LoadOptions struct {
+	// Directed treats each line as one arc; when false each line adds both
+	// arcs (the paper's treatment of Orkut/Friendster).
+	Directed bool
+	// DefaultWeight is used for lines without a third column.
+	DefaultWeight float64
+	// Relabel maps arbitrary non-negative ids to a dense range in first-seen
+	// order. Without it, node ids must already be dense and NumNodes is
+	// max(id)+1.
+	Relabel bool
+	// Build options applied after parsing.
+	Build BuildOptions
+}
+
+// ErrParse reports a malformed edge-list line.
+var ErrParse = errors.New("graph: parse error")
+
+// LoadEdgeList parses a whitespace-separated edge list: "u v [w]" per line,
+// '#' or '%' starting a comment. Returns the built graph.
+func LoadEdgeList(r io.Reader, opt LoadOptions) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := NewBuilder(0)
+	relabel := map[uint64]uint32{}
+	mapID := func(raw uint64) uint32 {
+		if !opt.Relabel {
+			return uint32(raw)
+		}
+		if id, ok := relabel[raw]; ok {
+			return id
+		}
+		id := uint32(len(relabel))
+		relabel[raw] = id
+		return id
+	}
+	if opt.DefaultWeight == 0 {
+		opt.DefaultWeight = 1
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexAny(text, "#%"); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: want 'u v [w]'", ErrParse, line)
+		}
+		ru, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, line, err)
+		}
+		rv, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, line, err)
+		}
+		w := opt.DefaultWeight
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, line, err)
+			}
+		}
+		u, v := mapID(ru), mapID(rv)
+		if opt.Directed {
+			b.AddEdge(u, v, w)
+		} else {
+			b.AddUndirected(u, v, w)
+		}
+		if int(u)+1 > b.n {
+			b.Grow(int(u) + 1)
+		}
+		if int(v)+1 > b.n {
+			b.Grow(int(v) + 1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b.n == 0 {
+		return nil, ErrNoNodes
+	}
+	return b.Build(opt.Build)
+}
+
+// LoadEdgeListFile opens path and calls LoadEdgeList.
+func LoadEdgeListFile(path string, opt LoadOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEdgeList(f, opt)
+}
+
+// SaveEdgeList writes the graph as "u v w" lines.
+func (g *Graph) SaveEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.n; u++ {
+		adj, ws := g.OutNeighbors(uint32(u))
+		for i, v := range adj {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary format: little-endian; magic, version, n, m, then the six arrays.
+const (
+	binMagic   = 0x53534742 // "SSGB"
+	binVersion = 1
+)
+
+// ErrBadFormat reports a corrupt or foreign binary graph file.
+var ErrBadFormat = errors.New("graph: bad binary format")
+
+func writeU32s(w io.Writer, buf []byte, xs []uint32) error {
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > len(buf)/4 {
+			k = len(buf) / 4
+		}
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
+		}
+		if _, err := w.Write(buf[:k*4]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func writeF32s(w io.Writer, buf []byte, xs []float32) error {
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > len(buf)/4 {
+			k = len(buf) / 4
+		}
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], floatBits(xs[i]))
+		}
+		if _, err := w.Write(buf[:k*4]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func readU32s(r io.Reader, buf []byte, xs []uint32) error {
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > len(buf)/4 {
+			k = len(buf) / 4
+		}
+		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func readF32s(r io.Reader, buf []byte, xs []float32) error {
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > len(buf)/4 {
+			k = len(buf) / 4
+		}
+		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = floatFrom(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+// SaveBinary writes the graph in the compact binary format.
+func (g *Graph) SaveBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], binVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.n))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(g.outAdj)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<16)
+	// outIdx/inIdx are reconstructed from degrees on load; store only the
+	// adjacency and weight arrays plus the per-node out/in degrees.
+	degs := make([]uint32, 2*g.n)
+	for v := 0; v < g.n; v++ {
+		degs[v] = uint32(g.outIdx[v+1] - g.outIdx[v])
+		degs[g.n+v] = uint32(g.inIdx[v+1] - g.inIdx[v])
+	}
+	if err := writeU32s(bw, buf, degs); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, buf, g.outAdj); err != nil {
+		return err
+	}
+	if err := writeF32s(bw, buf, g.outW); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, buf, g.inAdj); err != nil {
+		return err
+	}
+	if err := writeF32s(bw, buf, g.inW); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadBinary reads a graph written by SaveBinary.
+func LoadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binMagic {
+		return nil, ErrBadFormat
+	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != binVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadFormat)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[8:]))
+	m := int(binary.LittleEndian.Uint64(hdr[16:]))
+	if n <= 0 || m < 0 {
+		return nil, ErrBadFormat
+	}
+	g := &Graph{
+		n:      n,
+		outIdx: make([]int64, n+1),
+		outAdj: make([]uint32, m),
+		outW:   make([]float32, m),
+		inIdx:  make([]int64, n+1),
+		inAdj:  make([]uint32, m),
+		inW:    make([]float32, m),
+		inCum:  make([]float64, m),
+		inSum:  make([]float64, n),
+	}
+	buf := make([]byte, 1<<16)
+	degs := make([]uint32, 2*n)
+	if err := readU32s(br, buf, degs); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		g.outIdx[v+1] = g.outIdx[v] + int64(degs[v])
+		g.inIdx[v+1] = g.inIdx[v] + int64(degs[n+v])
+	}
+	if g.outIdx[n] != int64(m) || g.inIdx[n] != int64(m) {
+		return nil, fmt.Errorf("%w: degree sums disagree with m", ErrBadFormat)
+	}
+	if err := readU32s(br, buf, g.outAdj); err != nil {
+		return nil, err
+	}
+	if err := readF32s(br, buf, g.outW); err != nil {
+		return nil, err
+	}
+	if err := readU32s(br, buf, g.inAdj); err != nil {
+		return nil, err
+	}
+	if err := readF32s(br, buf, g.inW); err != nil {
+		return nil, err
+	}
+	for _, v := range g.outAdj {
+		if int(v) >= n {
+			return nil, fmt.Errorf("%w: adjacency id out of range", ErrBadFormat)
+		}
+	}
+	for _, v := range g.inAdj {
+		if int(v) >= n {
+			return nil, fmt.Errorf("%w: adjacency id out of range", ErrBadFormat)
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := g.inIdx[v], g.inIdx[v+1]
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += float64(g.inW[i])
+			g.inCum[i] = sum
+		}
+		g.inSum[v] = sum
+	}
+	return g, nil
+}
+
+// SaveBinaryFile writes the binary format to path.
+func (g *Graph) SaveBinaryFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.SaveBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads the binary format from path.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBinary(f)
+}

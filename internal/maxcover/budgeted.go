@@ -1,0 +1,138 @@
+package maxcover
+
+import (
+	"container/heap"
+
+	"stopandstare/internal/ris"
+)
+
+// BudgetedResult is a budgeted max-coverage solution.
+type BudgetedResult struct {
+	Seeds    []uint32
+	Coverage int64
+	Cost     float64 // total cost of Seeds
+	Upto     int
+}
+
+// Influence converts coverage into Î(S) = scale·Cov/|R|.
+func (r BudgetedResult) Influence(scale float64) float64 {
+	if r.Upto == 0 {
+		return 0
+	}
+	return scale * float64(r.Coverage) / float64(r.Upto)
+}
+
+type ratioCand struct {
+	node  uint32
+	gain  int32
+	ratio float64 // gain / cost at evaluation time
+}
+
+type ratioHeap []ratioCand
+
+func (h ratioHeap) Len() int            { return len(h) }
+func (h ratioHeap) Less(i, j int) bool  { return h[i].ratio > h[j].ratio }
+func (h ratioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ratioHeap) Push(x interface{}) { *h = append(*h, x.(ratioCand)) }
+func (h *ratioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// GreedyBudgeted solves budgeted max-coverage over RR sets [0, upto):
+// select nodes maximising coverage subject to Σ cost(v) ≤ budget, by the
+// classic lazy benefit/cost-ratio greedy. Combined with the best single
+// affordable node (Khuller–Moss–Naor), ratio greedy guarantees
+// (1−1/√e) ≈ 0.39 of the optimum; this is the selection rule of the
+// authors' cost-aware follow-up (BCT, INFOCOM'16 — reference [12] of the
+// paper under reproduction).
+func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64) BudgetedResult {
+	n := c.NumNodes()
+	if upto > c.Len() {
+		upto = c.Len()
+	}
+	res := BudgetedResult{Upto: upto}
+	if budget <= 0 {
+		return res
+	}
+
+	gains := make([]int32, n)
+	for i := 0; i < upto; i++ {
+		for _, v := range c.Set(i) {
+			gains[v]++
+		}
+	}
+	covered := make([]bool, upto)
+	inSeed := make([]bool, n)
+	costOf := func(v uint32) float64 {
+		if int(v) < len(costs) && costs[v] > 0 {
+			return costs[v]
+		}
+		return 1
+	}
+
+	h := make(ratioHeap, 0, n)
+	for v := 0; v < n; v++ {
+		if gains[v] > 0 && costOf(uint32(v)) <= budget {
+			h = append(h, ratioCand{node: uint32(v), gain: gains[v],
+				ratio: float64(gains[v]) / costOf(uint32(v))})
+		}
+	}
+	heap.Init(&h)
+
+	remaining := budget
+	// Track the best single affordable node for the KMN fix-up.
+	bestSingle := int32(-1)
+	var bestSingleNode uint32
+	for v := 0; v < n; v++ {
+		if costOf(uint32(v)) <= budget && gains[v] > bestSingle {
+			bestSingle = gains[v]
+			bestSingleNode = uint32(v)
+		}
+	}
+
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(ratioCand)
+		v := top.node
+		if inSeed[v] || gains[v] <= 0 {
+			continue
+		}
+		cost := costOf(v)
+		if cost > remaining {
+			continue // cannot afford; drop (lazy heap keeps others coming)
+		}
+		if cur := float64(gains[v]) / cost; top.ratio != cur {
+			heap.Push(&h, ratioCand{node: v, gain: gains[v], ratio: cur})
+			continue
+		}
+		// Select.
+		inSeed[v] = true
+		remaining -= cost
+		res.Cost += cost
+		res.Seeds = append(res.Seeds, v)
+		res.Coverage += int64(gains[v])
+		for _, id := range c.IndexUpto(v, upto) {
+			if covered[id] {
+				continue
+			}
+			covered[id] = true
+			for _, u := range c.Set(int(id)) {
+				gains[u]--
+			}
+		}
+	}
+
+	// Khuller–Moss–Naor: the better of {ratio-greedy set, best single}.
+	if bestSingle > 0 && int64(bestSingle) > res.Coverage {
+		return BudgetedResult{
+			Seeds:    []uint32{bestSingleNode},
+			Coverage: int64(bestSingle),
+			Cost:     costOf(bestSingleNode),
+			Upto:     upto,
+		}
+	}
+	return res
+}

@@ -1,0 +1,188 @@
+package ris
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Collection is a growing stream of RR sets R₁, R₂, … with an inverted
+// index (node → ids of RR sets containing it). It supports the access
+// patterns of all the algorithms in this repository:
+//
+//   - SSA doubles the whole stream and runs max-coverage over all of it;
+//   - D-SSA splits the stream into a prefix R_t and a suffix R^c_t
+//     (Alg. 4 lines 6–7), so range queries are first-class here;
+//   - IMM/TIM grow the stream to an explicit θ.
+//
+// Generation is deterministic for a fixed seed regardless of worker count:
+// RR set i is always produced by the PRNG stream (seed, i).
+type Collection struct {
+	sampler *Sampler
+	seed    uint64
+	workers int
+
+	sets  [][]uint32
+	index [][]int32 // per node, ascending RR-set ids
+	items int64     // Σ |R_j|
+	width int64     // Σ w(R_j)
+}
+
+// chunkSize is the number of RR sets per parallel work unit.
+const chunkSize = 512
+
+// NewCollection creates an empty collection. workers ≤ 0 means 1.
+func NewCollection(s *Sampler, seed uint64, workers int) *Collection {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Collection{
+		sampler: s,
+		seed:    seed,
+		workers: workers,
+		index:   make([][]int32, s.g.NumNodes()),
+	}
+}
+
+// Sampler returns the collection's sampler.
+func (c *Collection) Sampler() *Sampler { return c.sampler }
+
+// Len returns the number of RR sets generated so far.
+func (c *Collection) Len() int { return len(c.sets) }
+
+// Items returns the total number of node entries across all RR sets.
+func (c *Collection) Items() int64 { return c.items }
+
+// Width returns Σ_j w(R_j) over all RR sets (TIM's KPT input).
+func (c *Collection) Width() int64 { return c.width }
+
+// Set returns RR set i. The slice must not be modified.
+func (c *Collection) Set(i int) []uint32 { return c.sets[i] }
+
+// Index returns the ascending ids of RR sets containing v.
+func (c *Collection) Index(v uint32) []int32 { return c.index[v] }
+
+// NumNodes returns the node count of the underlying graph.
+func (c *Collection) NumNodes() int { return c.sampler.g.NumNodes() }
+
+// Scale returns the sampler scale (n or Γ).
+func (c *Collection) Scale() float64 { return c.sampler.scale }
+
+// Bytes approximates the memory held by RR sets plus the inverted index.
+func (c *Collection) Bytes() int64 {
+	return c.items*8 + // 4 bytes per set entry + 4 per index entry
+		int64(len(c.sets))*24 + int64(len(c.index))*24 // slice headers
+}
+
+type chunkResult struct {
+	buf     []uint32
+	offsets []int32 // len = sets in chunk + 1
+	width   int64
+}
+
+// GenerateTo grows the collection until it holds at least target RR sets.
+func (c *Collection) GenerateTo(target int) {
+	if extra := target - len(c.sets); extra > 0 {
+		c.Generate(extra)
+	}
+}
+
+// Generate appends count new RR sets to the stream, in parallel, with
+// bit-identical output for any worker count.
+func (c *Collection) Generate(count int) {
+	if count <= 0 {
+		return
+	}
+	start := len(c.sets)
+	nChunks := (count + chunkSize - 1) / chunkSize
+	results := make([]chunkResult, nChunks)
+
+	workers := c.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := c.sampler.NewState()
+			for {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > count {
+					hi = count
+				}
+				res := chunkResult{offsets: make([]int32, 1, hi-lo+1)}
+				buf := make([]uint32, 0, 4*(hi-lo))
+				for i := lo; i < hi; i++ {
+					r := streamFor(c.seed, uint64(start+i))
+					var setLen int
+					var w int64
+					buf, setLen, w = c.sampler.AppendSample(r, st, buf)
+					_ = setLen
+					res.offsets = append(res.offsets, int32(len(buf)))
+					res.width += w
+				}
+				res.buf = buf
+				results[ci] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in chunk order: global ids are deterministic.
+	for ci := range results {
+		res := &results[ci]
+		for j := 0; j+1 < len(res.offsets); j++ {
+			set := res.buf[res.offsets[j]:res.offsets[j+1]]
+			id := int32(len(c.sets))
+			c.sets = append(c.sets, set)
+			for _, v := range set {
+				c.index[v] = append(c.index[v], id)
+			}
+			c.items += int64(len(set))
+		}
+		c.width += res.width
+	}
+}
+
+// CoverageRange counts how many RR sets with ids in [from, to) contain at
+// least one node with seedMark[node] == true (Cov_R(S) over the range,
+// Eq. (1) restricted to a window — D-SSA's Cov over R^c_t).
+func (c *Collection) CoverageRange(seedMark []bool, from, to int) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(c.sets) {
+		to = len(c.sets)
+	}
+	var cov int64
+	for i := from; i < to; i++ {
+		for _, v := range c.sets[i] {
+			if seedMark[v] {
+				cov++
+				break
+			}
+		}
+	}
+	return cov
+}
+
+// Coverage counts Cov_R(S) over the whole stream for a seed mark vector.
+func (c *Collection) Coverage(seedMark []bool) int64 {
+	return c.CoverageRange(seedMark, 0, len(c.sets))
+}
+
+// IndexUpto returns the prefix of Index(v) whose ids are < upto, using the
+// ascending-id invariant.
+func (c *Collection) IndexUpto(v uint32, upto int) []int32 {
+	idx := c.index[v]
+	k := sort.Search(len(idx), func(i int) bool { return int(idx[i]) >= upto })
+	return idx[:k]
+}

@@ -1,0 +1,89 @@
+package ris
+
+import (
+	"math"
+	"testing"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/graph"
+)
+
+// TestRISEqualsForwardOnReverseGraph validates the defining identity of
+// reverse influence sampling: the probability that a random IC RR set of G
+// rooted at v contains u equals the probability that u activates v —
+// which equals the probability that v activates u in the transpose graph.
+// We check the aggregate form: for a fixed seed set S,
+// Pr[S ∩ R ≠ ∅ | root v] = Pr[cascade from S reaches v], by comparing
+// Lemma 1's estimate on G against forward MC on G itself (already done in
+// ris_test) *and* reachability symmetry through Reverse().
+func TestRISEqualsForwardOnReverseGraph(t *testing.T) {
+	g := mustGraph(t, 6, []graph.Edge{
+		{U: 0, V: 1, W: 0.7}, {U: 1, V: 2, W: 0.4}, {U: 2, V: 3, W: 0.6},
+		{U: 0, V: 4, W: 0.3}, {U: 4, V: 5, W: 0.9}, {U: 1, V: 5, W: 0.2},
+	})
+	rev, err := g.Reverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I_G({0}) must equal the expected number of nodes that can reach 0 in
+	// the reverse graph's IC cascades — i.e. I_rev is not generally equal,
+	// but single-pair activation probabilities are symmetric:
+	// Pr_G[0 activates 3] = Pr_rev[3 activates 0].
+	pForward := pairActivation(t, g, 0, 3)
+	pReverse := pairActivation(t, rev, 3, 0)
+	if math.Abs(pForward-pReverse) > 0.01 {
+		t.Fatalf("activation symmetry violated: %v vs %v", pForward, pReverse)
+	}
+	// And the RR-set view: frequency of node 0 in RR sets of G rooted
+	// anywhere, times n, equals I({0}).
+	exact, err := diffusion.ExactIC(g, []uint32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSampler(t, g, diffusion.IC)
+	col := NewCollection(s, 3, 2)
+	const N = 200000
+	col.Generate(N)
+	freq := float64(len(col.Index(0))) / N * s.Scale()
+	if math.Abs(freq-exact) > 0.05 {
+		t.Fatalf("RR frequency estimate %v vs exact %v", freq, exact)
+	}
+}
+
+// pairActivation estimates Pr[seed activates target] under IC by MC.
+func pairActivation(t *testing.T, g *graph.Graph, seed, target uint32) float64 {
+	t.Helper()
+	const runs = 200000
+	hits := 0
+	for i := 0; i < runs; i++ {
+		if icReaches(g, seed, target, uint64(i)) {
+			hits++
+		}
+	}
+	return float64(hits) / runs
+}
+
+// icReaches samples one IC possible world lazily and reports whether
+// target is reached from seed.
+func icReaches(g *graph.Graph, seed, target uint32, trial uint64) bool {
+	r := streamFor(7777, trial)
+	visited := map[uint32]bool{seed: true}
+	queue := []uint32{seed}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if u == target {
+			return true
+		}
+		adj, ws := g.OutNeighbors(u)
+		for i, v := range adj {
+			if visited[v] {
+				continue
+			}
+			if r.Float64() < float64(ws[i]) {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited[target]
+}

@@ -1,0 +1,147 @@
+// Package ris implements Reverse Influence Sampling (§3.1.1): generation of
+// random Reverse Reachable (RR) sets under the IC and LT models (Def. 2),
+// the weighted-root WRIS variant used by targeted viral marketing (§7.3.1),
+// and a deterministic, parallel, indexed collection of RR sets that SSA,
+// D-SSA, IMM and TIM draw from.
+package ris
+
+import (
+	"errors"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/graph"
+	"stopandstare/internal/rng"
+)
+
+// Sampler generates random RR sets from a graph under a propagation model.
+// The zero-weight case (uniform root selection) corresponds to classic RIS;
+// a weighted sampler implements WRIS, where the root is chosen
+// proportionally to each node's benefit b(v) and estimates scale by
+// Γ = Σ_v b(v) instead of n (Lemma 1 and its weighted analogue).
+type Sampler struct {
+	g     *graph.Graph
+	model diffusion.Model
+	root  *rng.Alias // nil ⇒ uniform root
+	scale float64    // n for RIS, Γ for WRIS
+}
+
+// ErrNilGraph reports a missing graph.
+var ErrNilGraph = errors.New("ris: nil graph")
+
+// NewSampler returns a uniform-root (classic RIS) sampler.
+func NewSampler(g *graph.Graph, model diffusion.Model) (*Sampler, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	return &Sampler{g: g, model: model, scale: float64(g.NumNodes())}, nil
+}
+
+// NewWeightedSampler returns a WRIS sampler whose roots are drawn
+// proportionally to weights (benefit values b(v) ≥ 0).
+func NewWeightedSampler(g *graph.Graph, model diffusion.Model, weights []float64) (*Sampler, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if len(weights) != g.NumNodes() {
+		return nil, errors.New("ris: weights length must equal NumNodes")
+	}
+	al, err := rng.NewAlias(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{g: g, model: model, root: al, scale: al.Total()}, nil
+}
+
+// Graph returns the underlying graph.
+func (s *Sampler) Graph() *graph.Graph { return s.g }
+
+// Model returns the propagation model.
+func (s *Sampler) Model() diffusion.Model { return s.model }
+
+// Scale returns the estimator scale: n for RIS, Γ = Σ b(v) for WRIS.
+// Î(S) = Scale · Cov_R(S)/|R| (Lemma 1).
+func (s *Sampler) Scale() float64 { return s.scale }
+
+// Weighted reports whether this is a WRIS sampler.
+func (s *Sampler) Weighted() bool { return s.root != nil }
+
+// State is the per-goroutine scratch for RR-set generation.
+type State struct {
+	mark  []uint32
+	epoch uint32
+	queue []uint32
+}
+
+// NewState allocates sampling scratch for the sampler's graph.
+func (s *Sampler) NewState() *State {
+	return &State{mark: make([]uint32, s.g.NumNodes())}
+}
+
+func (st *State) nextEpoch() {
+	st.epoch++
+	if st.epoch == 0 {
+		for i := range st.mark {
+			st.mark[i] = 0
+		}
+		st.epoch = 1
+	}
+}
+
+// AppendSample generates one RR set using r and appends its nodes to buf.
+// It returns the grown buffer, the number of nodes appended, and the RR
+// set's width w(R) = Σ_{v∈R} d_in(v) (the quantity TIM's KPT estimator
+// needs). The set occupies buf[len(buf)-setLen:]. For the LT model the
+// nodes appear in reverse-walk order (root first), which tests rely on.
+func (s *Sampler) AppendSample(r *rng.Source, st *State, buf []uint32) (newBuf []uint32, setLen int, width int64) {
+	g := s.g
+	var root uint32
+	if s.root != nil {
+		root = uint32(s.root.Sample(r))
+	} else {
+		root = uint32(r.Intn(g.NumNodes()))
+	}
+	st.nextEpoch()
+	start := len(buf)
+	st.mark[root] = st.epoch
+	buf = append(buf, root)
+	width = int64(g.InDegree(root))
+	if s.model == diffusion.IC {
+		// Reverse BFS: edge (u,x) is live with probability w(u,x); every
+		// in-edge of a member is examined exactly once.
+		for head := start; head < len(buf); head++ {
+			x := buf[head]
+			adj, ws := g.InNeighbors(x)
+			for i, u := range adj {
+				if st.mark[u] == st.epoch {
+					continue
+				}
+				if r.Float64() < float64(ws[i]) {
+					st.mark[u] = st.epoch
+					buf = append(buf, u)
+					width += int64(g.InDegree(u))
+				}
+			}
+		}
+	} else {
+		// LT reverse walk: at x pick one in-neighbour proportionally to
+		// w(u,x) (stop with probability 1 − Σw); terminate on revisit.
+		x := root
+		for {
+			u, ok := g.SampleLTInNeighbor(x, r.Float64())
+			if !ok || st.mark[u] == st.epoch {
+				break
+			}
+			st.mark[u] = st.epoch
+			buf = append(buf, u)
+			width += int64(g.InDegree(u))
+			x = u
+		}
+	}
+	return buf, len(buf) - start, width
+}
+
+// Sample generates one RR set into a fresh slice (convenience for tests).
+func (s *Sampler) Sample(r *rng.Source, st *State) ([]uint32, int64) {
+	buf, n, w := s.AppendSample(r, st, nil)
+	return buf[len(buf)-n:], w
+}

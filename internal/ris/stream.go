@@ -1,0 +1,18 @@
+package ris
+
+import "stopandstare/internal/rng"
+
+// streamFor returns the PRNG for RR set id under the given seed. Split out
+// so the verification stream used by SSA's Estimate-Inf can reserve a
+// disjoint id space (see core): verification RR sets use VerifyStream.
+func streamFor(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed, id)
+}
+
+// VerifyStream returns a PRNG stream disjoint from the Generate stream for
+// any realistic id (< 2^62). SSA's Estimate-Inf must use samples that are
+// independent of the coverage collection (Alg. 1 line 10 generates a fresh
+// collection R′), which this separation guarantees.
+func VerifyStream(seed, id uint64) *rng.Source {
+	return rng.NewStream(seed, id|1<<62)
+}

@@ -1,0 +1,93 @@
+package rng
+
+import (
+	"errors"
+	"math"
+)
+
+// Alias is a Vose alias table for O(1) sampling from a fixed discrete
+// distribution. It backs the weighted root selection of WRIS sampling
+// (targeted viral marketing, §7.3 of the paper), where each RR-set root is
+// drawn proportionally to a node's benefit weight.
+type Alias struct {
+	prob  []float64
+	alias []int32
+	total float64
+}
+
+// ErrBadWeights reports an unusable weight vector.
+var ErrBadWeights = errors.New("rng: weights must be finite, non-negative, with positive sum")
+
+// NewAlias builds an alias table from the given non-negative weights.
+// The weights need not be normalised. Construction is O(len(w)).
+func NewAlias(w []float64) (*Alias, error) {
+	n := len(w)
+	if n == 0 {
+		return nil, ErrBadWeights
+	}
+	total := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, ErrBadWeights
+		}
+		total += x
+	}
+	if total <= 0 {
+		return nil, ErrBadWeights
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+	// Scaled probabilities; small/large worklists (Vose's method).
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small { // numerical leftovers
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Total returns the sum of the original weights (Γ in the TVM notation).
+func (a *Alias) Total() float64 { return a.total }
+
+// Sample draws one outcome index in O(1).
+func (a *Alias) Sample(r *Source) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,298 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestStreamsIndependentAndReproducible(t *testing.T) {
+	s1a := NewStream(7, 100)
+	s1b := NewStream(7, 100)
+	s2 := NewStream(7, 101)
+	for i := 0; i < 100; i++ {
+		x := s1a.Uint64()
+		if x != s1b.Uint64() {
+			t.Fatal("same stream not reproducible")
+		}
+		if x == s2.Uint64() {
+			t.Fatal("adjacent streams collided")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		x := r.Intn(m)
+		return x >= 0 && x < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint32nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint32n(0) did not panic")
+		}
+	}()
+	New(1).Uint32n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(13)
+	const buckets = 10
+	const draws = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %.4f", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make([]bool, 50)
+	for _, x := range out {
+		if x < 0 || x >= 50 || seen[x] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[x] = true
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(29)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestSeedZeroWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("seed 0 produced a degenerate sequence")
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range cases {
+		if _, err := NewAlias(w); err == nil {
+			t.Fatalf("NewAlias(%v) should fail", w)
+		}
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	w := []float64{1, 2, 3, 4}
+	a, err := NewAlias(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if a.Total() != 10 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	r := New(31)
+	const draws = 400000
+	counts := make([]int, 4)
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, wi := range w {
+		want := wi / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("outcome %d: got %d want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(37)
+	for i := 0; i < 100000; i++ {
+		s := a.Sample(r)
+		if s == 0 || s == 2 || s == 4 {
+			t.Fatalf("sampled zero-weight outcome %d", s)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias sampled nonzero")
+		}
+	}
+}
+
+func TestAliasSkewedDistribution(t *testing.T) {
+	// Heavy skew exercises the small/large worklist logic.
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 1e6
+	a, err := NewAlias(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(43)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if a.Sample(r) == 0 {
+			hits++
+		}
+	}
+	wantRate := 1e6 / (1e6 + 99)
+	rate := float64(hits) / draws
+	if math.Abs(rate-wantRate) > 0.005 {
+		t.Fatalf("skewed alias rate %.5f want %.5f", rate, wantRate)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= r.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w := make([]float64, 1<<16)
+	for i := range w {
+		w[i] = float64(i%97) + 1
+	}
+	a, _ := NewAlias(w)
+	r := New(1)
+	b.ResetTimer()
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc ^= a.Sample(r)
+	}
+	_ = acc
+}

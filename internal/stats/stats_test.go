@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpsilonMatchesDefinition(t *testing.T) {
+	// Υ(ε,δ) = (2 + 2ε/3)·ln(1/δ)/ε² (Table 1)
+	cases := []struct {
+		eps, delta float64
+	}{
+		{0.1, 0.01},
+		{0.3, 0.001},
+		{0.5, 1e-9},
+		{0.05, 0.5},
+	}
+	for _, c := range cases {
+		got := Upsilon(c.eps, c.delta)
+		want := (2 + 2*c.eps/3) * math.Log(1/c.delta) / (c.eps * c.eps)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("Upsilon(%v,%v) = %v want %v", c.eps, c.delta, got, want)
+		}
+	}
+}
+
+func TestUpsilonPaperExample(t *testing.T) {
+	// ε=0.1, δ=1/3: Υ = (2+0.0667)·ln3/100... sanity magnitude check.
+	u := Upsilon(0.1, 1.0/3)
+	if u < 200 || u > 250 {
+		t.Fatalf("Upsilon(0.1, 1/3) = %v out of expected magnitude", u)
+	}
+}
+
+func TestUpsilonLnConsistency(t *testing.T) {
+	eps, delta := 0.2, 0.005
+	a := Upsilon(eps, delta)
+	b := UpsilonLn(eps, math.Log(1/delta))
+	if math.Abs(a-b) > 1e-9*a {
+		t.Fatalf("UpsilonLn inconsistent: %v vs %v", a, b)
+	}
+}
+
+func TestUpsilonMonotonicity(t *testing.T) {
+	// Decreasing in ε, increasing in ln(1/δ).
+	f := func(a, b uint8) bool {
+		e1 := 0.05 + float64(a%90)/100
+		e2 := e1 + 0.01
+		lnInv := 1 + float64(b%100)
+		return UpsilonLn(e2, lnInv) < UpsilonLn(e1, lnInv) &&
+			UpsilonLn(e1, lnInv+1) > UpsilonLn(e1, lnInv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLnChooseSmallValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		got := LnChoose(c.n, c.k)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("LnChoose(%d,%d) = %v want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLnChooseOutOfRange(t *testing.T) {
+	if !math.IsInf(LnChoose(5, 6), -1) || !math.IsInf(LnChoose(5, -1), -1) {
+		t.Fatal("out-of-range LnChoose should be -Inf")
+	}
+}
+
+func TestLnChooseSymmetry(t *testing.T) {
+	f := func(a, b uint16) bool {
+		n := int(a%1000) + 1
+		k := int(b) % (n + 1)
+		return math.Abs(LnChoose(n, k)-LnChoose(n, n-k)) < 1e-6*(1+math.Abs(LnChoose(n, k)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLnChooseHugeDoesNotOverflow(t *testing.T) {
+	v := LnChoose(65600000, 20000) // Friendster-scale n, large k
+	if math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Fatalf("LnChoose(65.6M, 20k) = %v", v)
+	}
+}
+
+func TestChernoffBoundsDecreasing(t *testing.T) {
+	// More samples → smaller tail bound.
+	if ChernoffUpperTail(0.1, 0.01, 2000) >= ChernoffUpperTail(0.1, 0.01, 1000) {
+		t.Fatal("upper tail not decreasing in T")
+	}
+	if ChernoffLowerTail(0.1, 0.01, 2000) >= ChernoffLowerTail(0.1, 0.01, 1000) {
+		t.Fatal("lower tail not decreasing in T")
+	}
+}
+
+func TestSampleCountsInvertBounds(t *testing.T) {
+	// Plugging the sufficient sample counts back into the bounds must give
+	// exactly δ (up to float error) — Corollary 1 is tight by construction.
+	eps, delta, mu := 0.2, 0.01, 0.05
+	tUp := UpperTailSamples(eps, delta, mu)
+	if p := ChernoffUpperTail(eps, mu, tUp); math.Abs(p-delta) > 1e-9 {
+		t.Fatalf("upper bound at sufficient T: %v want %v", p, delta)
+	}
+	tLo := LowerTailSamples(eps, delta, mu)
+	if p := ChernoffLowerTail(eps, mu, tLo); math.Abs(p-delta) > 1e-9 {
+		t.Fatalf("lower bound at sufficient T: %v want %v", p, delta)
+	}
+}
+
+func TestStoppingRuleThreshold(t *testing.T) {
+	got := StoppingRuleThreshold(0.1, 0.01)
+	want := 1 + 1.1*Upsilon(0.1, 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Λ₂ = %v want %v", got, want)
+	}
+}
+
+func TestCheckEpsDelta(t *testing.T) {
+	bad := [][2]float64{{0, 0.5}, {1, 0.5}, {0.5, 0}, {0.5, 1}, {-1, 0.5}, {0.5, 2}}
+	for _, c := range bad {
+		if err := CheckEpsDelta(c[0], c[1]); err == nil {
+			t.Fatalf("CheckEpsDelta(%v,%v) should fail", c[0], c[1])
+		}
+	}
+	if err := CheckEpsDelta(0.1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMeanVariance(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != int64(len(xs)) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if w.StdErr() <= 0 {
+		t.Fatal("stderr should be positive")
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	var all, a, b Welford
+	for i := 0; i < 100; i++ {
+		x := float64(i*i%37) + 0.5
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v want %v", a.Variance(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(3)
+	a.Merge(b) // empty rhs
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed state")
+	}
+	b.Merge(a) // empty lhs
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestWelfordSmallCounts(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdErr() != 0 || w.Mean() != 0 {
+		t.Fatal("empty Welford should be all zeros")
+	}
+	w.Add(5)
+	if w.Variance() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}

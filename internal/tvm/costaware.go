@@ -1,0 +1,130 @@
+package tvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/maxcover"
+	"stopandstare/internal/ris"
+	"stopandstare/internal/stats"
+)
+
+// BudgetedOptions configures the cost-aware targeted viral marketing
+// extension (the BCT problem of the authors' INFOCOM'16 companion, cited
+// as [12] in the paper): maximise benefit B(S) subject to Σ cost(v) ≤ B.
+type BudgetedOptions struct {
+	// Budget is the total spend allowed.
+	Budget float64
+	// Costs[v] is the price of seeding v (entries ≤ 0 default to 1).
+	Costs []float64
+	// Epsilon/Delta as elsewhere; Delta 0 ⇒ 1/n.
+	Epsilon float64
+	Delta   float64
+	Seed    uint64
+	Workers int
+	// Samples optionally fixes the number of WRIS samples; 0 derives an
+	// Eq. 14-style threshold from the instance (see BudgetedMaximize).
+	Samples int
+}
+
+// BudgetedResult reports a cost-aware run.
+type BudgetedResult struct {
+	Seeds   []uint32
+	Benefit float64 // Î estimate of B(S)
+	Cost    float64
+	Samples int64
+	Elapsed time.Duration
+	Memory  int64
+}
+
+// ErrBadBudget reports a non-positive budget.
+var ErrBadBudget = errors.New("tvm: budget must be positive")
+
+// BudgetedMaximize solves the budgeted TVM problem with WRIS sampling and
+// the Khuller–Moss–Naor ratio greedy ((1−1/√e)-approximate selection on
+// the sampled coverage instance). The sample count follows the Eq. 14
+// pattern with OPT lower-bounded by the largest single affordable benefit
+// and k replaced by the largest affordable seed count; pass
+// BudgetedOptions.Samples to override.
+func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (*BudgetedResult, error) {
+	start := time.Now()
+	if opt.Budget <= 0 {
+		return nil, ErrBadBudget
+	}
+	n := t.G.NumNodes()
+	if opt.Delta == 0 {
+		opt.Delta = 1 / float64(n)
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 0.1
+	}
+	if !(opt.Epsilon > 0 && opt.Epsilon < 1) || !(opt.Delta > 0 && opt.Delta < 1) {
+		return nil, fmt.Errorf("tvm: epsilon/delta out of range (%v, %v)", opt.Epsilon, opt.Delta)
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	s, err := t.Sampler(model)
+	if err != nil {
+		return nil, err
+	}
+
+	costOf := func(v int) float64 {
+		if v < len(opt.Costs) && opt.Costs[v] > 0 {
+			return opt.Costs[v]
+		}
+		return 1
+	}
+	// kMax: the most seeds any feasible solution can hold (cheapest-first).
+	minCost := math.Inf(1)
+	var optLB float64 // best affordable single-node benefit
+	for v := 0; v < n; v++ {
+		c := costOf(v)
+		if c < minCost {
+			minCost = c
+		}
+		if c <= opt.Budget && t.Weights[v] > optLB {
+			optLB = t.Weights[v]
+		}
+	}
+	kMax := int(opt.Budget / minCost)
+	if kMax < 1 {
+		kMax = 1
+	}
+	if kMax > n {
+		kMax = n
+	}
+	if optLB <= 0 {
+		optLB = 1
+	}
+
+	samples := opt.Samples
+	if samples <= 0 {
+		theta := 4 * stats.OneMinusInvE * t.Gamma *
+			(2*math.Log(2/opt.Delta) + stats.LnChoose(n, kMax)) /
+			(opt.Epsilon * opt.Epsilon * optLB)
+		const hardCap = float64(1 << 30)
+		if theta > hardCap {
+			theta = hardCap
+		}
+		if theta < 1 {
+			theta = 1
+		}
+		samples = int(theta)
+	}
+
+	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col.Generate(samples)
+	mc := maxcover.GreedyBudgeted(col, col.Len(), opt.Costs, opt.Budget)
+	return &BudgetedResult{
+		Seeds:   mc.Seeds,
+		Benefit: mc.Influence(t.Gamma),
+		Cost:    mc.Cost,
+		Samples: int64(col.Len()),
+		Elapsed: time.Since(start),
+		Memory:  col.Bytes(),
+	}, nil
+}
