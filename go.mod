@@ -1,0 +1,3 @@
+module stopandstare
+
+go 1.21

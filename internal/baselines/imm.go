@@ -93,6 +93,9 @@ func IMM(s *ris.Sampler, opt Options) (*Result, error) {
 	lambdaPrime := (2 + 2*epsPrime/3) * (lnCnk + lnInvDelta + math.Log(log2n)) * n / (epsPrime * epsPrime)
 
 	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	// Both IMM phases grow one martingale stream, so a single incremental
+	// solver serves every probe and the final node selection.
+	sol := maxcover.NewSolver(col)
 	lb := 1.0
 	iterations := 0
 	var mc maxcover.Result
@@ -101,7 +104,7 @@ func IMM(s *ris.Sampler, opt Options) (*Result, error) {
 		x := n / math.Pow(2, float64(i))
 		thetaI := lambdaPrime / x
 		col.GenerateTo(ceilPos(thetaI))
-		mc = maxcover.Greedy(col, col.Len(), k)
+		mc = sol.Solve(col.Len(), k)
 		est := mc.Influence(scale) // n·F_R(S_i) in the paper's notation
 		if est >= (1+epsPrime)*x*scale/n {
 			lb = est / (1 + epsPrime)
@@ -118,7 +121,7 @@ func IMM(s *ris.Sampler, opt Options) (*Result, error) {
 	lambdaStar := 2 * n * math.Pow(stats.OneMinusInvE*alpha+beta, 2) / (eps * eps)
 	theta := lambdaStar / lb
 	col.GenerateTo(ceilPos(theta))
-	mc = maxcover.Greedy(col, col.Len(), k)
+	mc = sol.Solve(col.Len(), k)
 
 	res := &Result{
 		Seeds:           mc.Seeds,

@@ -88,6 +88,9 @@ func tim(s *ris.Sampler, opt Options, refine bool) (*Result, error) {
 	lnInvDelta := math.Log(1 / delta)
 
 	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	// The refinement greedy (TIM+) and the final node selection reuse the
+	// same stream; the incremental solver scans it once in total.
+	sol := maxcover.NewSolver(col)
 	kpt, iterations := kptStar(s, col, k, delta)
 
 	if refine {
@@ -101,7 +104,7 @@ func tim(s *ris.Sampler, opt Options, refine bool) (*Result, error) {
 		lambdaPrime := (2 + 2*epsPrime/3) * (lnCnk + lnInvDelta) * n / (epsPrime * epsPrime)
 		thetaPrime := ceilPos(lambdaPrime / kpt)
 		col.GenerateTo(thetaPrime)
-		mc := maxcover.Greedy(col, col.Len(), k)
+		mc := sol.Solve(col.Len(), k)
 		kptRefined := mc.Influence(scale) / (1 + epsPrime)
 		if kptRefined > kpt {
 			kpt = kptRefined
@@ -111,7 +114,7 @@ func tim(s *ris.Sampler, opt Options, refine bool) (*Result, error) {
 	lambda := (8 + 2*eps) * n * (lnInvDelta + lnCnk + math.Ln2) / (eps * eps)
 	theta := ceilPos(lambda / kpt)
 	col.GenerateTo(theta)
-	mc := maxcover.Greedy(col, col.Len(), k)
+	mc := sol.Solve(col.Len(), k)
 
 	return &Result{
 		Seeds:           mc.Seeds,

@@ -37,6 +37,9 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 	col := ris.NewCollection(s, opt.Seed, opt.Workers)
 	scale := s.Scale()
 	mark := make([]bool, s.Graph().NumNodes())
+	// The candidate prefix R_t doubles every iteration, so one incremental
+	// solver scans each RR set exactly once across the whole run.
+	sol := maxcover.NewSolver(col)
 
 	res := &Result{}
 	var mc maxcover.Result
@@ -46,7 +49,7 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 		half := boundedShift(halfUnit, t-1) // |R_t| = Λ·2^(t−1)
 		col.GenerateTo(2 * half)            // lines 6–7: R_t ++ R^c_t
 		// Line 8: candidate from the first half.
-		mc = maxcover.Greedy(col, half, opt.K)
+		mc = sol.Solve(half, opt.K)
 		iHat := mc.Influence(scale)
 		for _, v := range mc.Seeds {
 			mark[v] = true

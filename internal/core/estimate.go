@@ -2,6 +2,7 @@ package core
 
 import (
 	"stopandstare/internal/ris"
+	"stopandstare/internal/rng"
 	"stopandstare/internal/stats"
 )
 
@@ -23,7 +24,8 @@ type estimator struct {
 	state   *ris.State
 	mark    []bool
 	buf     []uint32
-	total   int64 // RR sets generated across all calls
+	r       rng.Source // re-seeded per sample: no per-sample allocation
+	total   int64      // RR sets generated across all calls
 }
 
 func newEstimator(s *ris.Sampler, seed uint64) *estimator {
@@ -51,10 +53,10 @@ func (e *estimator) estimate(seeds []uint32, epsPrime, deltaPrime float64, tmax 
 	scale := e.sampler.Scale()
 	cov := 0.0
 	for t := int64(1); t <= tmax; t++ {
-		r := ris.VerifyStream(e.seed, e.nextID)
+		ris.SeedVerifyStream(&e.r, e.seed, e.nextID)
 		e.nextID++
 		var setLen int
-		e.buf, setLen, _ = e.sampler.AppendSample(r, e.state, e.buf[:0])
+		e.buf, setLen, _ = e.sampler.AppendSample(&e.r, e.state, e.buf[:0])
 		set := e.buf[len(e.buf)-setLen:]
 		for _, v := range set {
 			if e.mark[v] {

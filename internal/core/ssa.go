@@ -44,6 +44,10 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 	col.Generate(ceilPos(lambda)) // line 4
 	est := newEstimator(s, opt.Seed)
 	scale := s.Scale()
+	// One incremental solver spans all checkpoints: each Solve scans only
+	// the RR sets added since the previous checkpoint, yet returns the
+	// exact maxcover.Greedy solution.
+	sol := maxcover.NewSolver(col)
 
 	res := &Result{Eps1: e1, Eps2: e2, Eps3: e3}
 	var mc maxcover.Result
@@ -52,7 +56,7 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 		// Line 6: double the size of R.
 		col.GenerateTo(boundedDouble(col.Len()))
 		// Line 7: find the candidate solution.
-		mc = maxcover.Greedy(col, col.Len(), opt.K)
+		mc = sol.Solve(col.Len(), opt.K)
 		iHat := mc.Influence(scale)
 		passed := false
 		// Line 8: condition C1 — enough coverage to bound Î(S*_k).

@@ -1,10 +1,6 @@
 package maxcover
 
-import (
-	"container/heap"
-
-	"stopandstare/internal/ris"
-)
+import "stopandstare/internal/ris"
 
 // BudgetedResult is a budgeted max-coverage solution.
 type BudgetedResult struct {
@@ -28,19 +24,8 @@ type ratioCand struct {
 	ratio float64 // gain / cost at evaluation time
 }
 
-type ratioHeap []ratioCand
-
-func (h ratioHeap) Len() int            { return len(h) }
-func (h ratioHeap) Less(i, j int) bool  { return h[i].ratio > h[j].ratio }
-func (h ratioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *ratioHeap) Push(x interface{}) { *h = append(*h, x.(ratioCand)) }
-func (h *ratioHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// above orders the ratio-greedy max-heap on benefit/cost (see heap.go).
+func (c ratioCand) above(o ratioCand) bool { return c.ratio > o.ratio }
 
 // GreedyBudgeted solves budgeted max-coverage over RR sets [0, upto):
 // select nodes maximising coverage subject to Σ cost(v) ≤ budget, by the
@@ -74,14 +59,14 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 		return 1
 	}
 
-	h := make(ratioHeap, 0, n)
+	h := make([]ratioCand, 0, n)
 	for v := 0; v < n; v++ {
 		if gains[v] > 0 && costOf(uint32(v)) <= budget {
 			h = append(h, ratioCand{node: uint32(v), gain: gains[v],
 				ratio: float64(gains[v]) / costOf(uint32(v))})
 		}
 	}
-	heap.Init(&h)
+	heapInit(h)
 
 	remaining := budget
 	// Track the best single affordable node for the KMN fix-up.
@@ -94,8 +79,8 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 		}
 	}
 
-	for h.Len() > 0 {
-		top := heap.Pop(&h).(ratioCand)
+	for len(h) > 0 {
+		top := heapPop(&h)
 		v := top.node
 		if inSeed[v] || gains[v] <= 0 {
 			continue
@@ -105,7 +90,7 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 			continue // cannot afford; drop (lazy heap keeps others coming)
 		}
 		if cur := float64(gains[v]) / cost; top.ratio != cur {
-			heap.Push(&h, ratioCand{node: v, gain: gains[v], ratio: cur})
+			heapPush(&h, ratioCand{node: v, gain: gains[v], ratio: cur})
 			continue
 		}
 		// Select.
@@ -114,13 +99,20 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 		res.Cost += cost
 		res.Seeds = append(res.Seeds, v)
 		res.Coverage += int64(gains[v])
-		for _, id := range c.IndexUpto(v, upto) {
-			if covered[id] {
-				continue
+		it := c.PostingsUpto(v, upto)
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
 			}
-			covered[id] = true
-			for _, u := range c.Set(int(id)) {
-				gains[u]--
+			for _, id := range run {
+				if covered[id] {
+					continue
+				}
+				covered[id] = true
+				for _, u := range c.Set(int(id)) {
+					gains[u]--
+				}
 			}
 		}
 	}

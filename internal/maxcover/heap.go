@@ -1,0 +1,64 @@
+package maxcover
+
+// heapOrdered is implemented by heap elements; above reports whether the
+// receiver has strictly higher priority (max-heap order).
+type heapOrdered[T any] interface{ above(T) bool }
+
+// The sift routines below replicate container/heap's algorithm exactly
+// (same child-selection and tie handling) so that lazy-greedy selection
+// order — and therefore every returned seed set — is identical to the
+// container/heap-based implementation they replace. Operating on the
+// concrete element type avoids interface boxing: zero allocations per
+// push/pop on the selection hot path.
+
+func heapInit[T heapOrdered[T]](h []T) {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		heapDown(h, i, n)
+	}
+}
+
+func heapPush[T heapOrdered[T]](h *[]T, x T) {
+	*h = append(*h, x)
+	heapUp(*h, len(*h)-1)
+}
+
+func heapPop[T heapOrdered[T]](h *[]T) T {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	heapDown(old, 0, n)
+	x := old[n]
+	*h = old[:n]
+	return x
+}
+
+func heapUp[T heapOrdered[T]](h []T, j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h[j].above(h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func heapDown[T heapOrdered[T]](h []T, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].above(h[j1]) {
+			j = j2 // right child
+		}
+		if !h[j].above(h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

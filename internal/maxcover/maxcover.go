@@ -4,14 +4,12 @@
 // result gives Cov(Ŝ_k) ≥ (1−1/e)·max_{|S|=k} Cov(S); the implementation is
 // the exact lazy-greedy (Minoux's accelerated greedy — the same trick CELF
 // uses), which returns the identical seed set to naive greedy because
-// coverage gain is submodular.
+// coverage gain is submodular. The incremental Solver amortises the greedy
+// bookkeeping across the checkpoints of a doubling schedule; Greedy is its
+// from-scratch special case.
 package maxcover
 
-import (
-	"container/heap"
-
-	"stopandstare/internal/ris"
-)
+import "stopandstare/internal/ris"
 
 // Result is a max-coverage solution over a prefix of an RR collection.
 type Result struct {
@@ -34,88 +32,19 @@ type candidate struct {
 	gain int32
 }
 
-type gainHeap []candidate
-
-func (h gainHeap) Len() int            { return len(h) }
-func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// above orders the lazy-greedy max-heap on gain (see heap.go).
+func (c candidate) above(o candidate) bool { return c.gain > o.gain }
 
 // Greedy solves max-coverage over RR sets [0, upto) of c, returning k seeds.
 // If coverage saturates before k distinct useful nodes exist, the seed set
 // is padded with the lowest-id unused nodes so callers always receive
 // exactly min(k, n) seeds (a size-k seed set is what IM asks for).
+//
+// Greedy is the from-scratch entry point: it is exactly a fresh Solver
+// solved once. Checkpointed algorithms should hold a Solver instead, which
+// scans only the stream suffix added since the previous checkpoint.
 func Greedy(c *ris.Collection, upto, k int) Result {
-	n := c.NumNodes()
-	if upto > c.Len() {
-		upto = c.Len()
-	}
-	if k > n {
-		k = n
-	}
-	res := Result{Upto: upto, Seeds: make([]uint32, 0, k)}
-
-	gains := make([]int32, n)
-	for i := 0; i < upto; i++ {
-		for _, v := range c.Set(i) {
-			gains[v]++
-		}
-	}
-	covered := make([]bool, upto)
-	inSeed := make([]bool, n)
-
-	h := make(gainHeap, 0, n)
-	for v := 0; v < n; v++ {
-		if gains[v] > 0 {
-			h = append(h, candidate{node: uint32(v), gain: gains[v]})
-		}
-	}
-	heap.Init(&h)
-
-	for len(res.Seeds) < k && h.Len() > 0 {
-		top := heap.Pop(&h).(candidate)
-		v := top.node
-		if inSeed[v] {
-			continue
-		}
-		if top.gain != gains[v] {
-			if gains[v] > 0 {
-				heap.Push(&h, candidate{node: v, gain: gains[v]})
-			}
-			continue
-		}
-		if gains[v] <= 0 {
-			break // nothing uncovered remains reachable
-		}
-		// Select v: cover its uncovered sets, decrement other members.
-		res.Seeds = append(res.Seeds, v)
-		inSeed[v] = true
-		res.Coverage += int64(gains[v])
-		for _, id := range c.IndexUpto(v, upto) {
-			if covered[id] {
-				continue
-			}
-			covered[id] = true
-			for _, u := range c.Set(int(id)) {
-				gains[u]--
-			}
-		}
-	}
-	// Pad to k seeds with unused nodes (stable, lowest ids first).
-	for v := 0; len(res.Seeds) < k && v < n; v++ {
-		if !inSeed[v] {
-			res.Seeds = append(res.Seeds, uint32(v))
-			inSeed[v] = true
-		}
-	}
-	return res
+	return NewSolver(c).Solve(upto, k)
 }
 
 // CoverageOf computes Cov over [0,upto) for an arbitrary seed set (used to

@@ -1,0 +1,185 @@
+package maxcover
+
+import (
+	"testing"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/gen"
+	"stopandstare/internal/graph"
+	"stopandstare/internal/ris"
+)
+
+func assertSameResult(t *testing.T, ctx string, got, want Result) {
+	t.Helper()
+	if got.Upto != want.Upto || got.Coverage != want.Coverage {
+		t.Fatalf("%s: got upto=%d cov=%d, want upto=%d cov=%d",
+			ctx, got.Upto, got.Coverage, want.Upto, want.Coverage)
+	}
+	if len(got.Seeds) != len(want.Seeds) {
+		t.Fatalf("%s: got %d seeds, want %d", ctx, len(got.Seeds), len(want.Seeds))
+	}
+	for i := range got.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("%s: seed %d differs: got %d want %d",
+				ctx, i, got.Seeds[i], want.Seeds[i])
+		}
+	}
+}
+
+// TestSolverEquivalentToGreedyDoubling is the core incremental-solver
+// contract: across an SSA-style doubling schedule, Solve over each prefix
+// returns bit-identical Seeds and Coverage to a from-scratch Greedy over
+// the same prefix, even though it only scanned the new suffix.
+func TestSolverEquivalentToGreedyDoubling(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		col := buildCollection(t, 80, 500, 0, seed*29)
+		for _, k := range []int{1, 4, 9} {
+			sol := NewSolver(col)
+			for _, upto := range []int{25, 50, 100, 200, 400, 800, 1600} {
+				col.GenerateTo(upto)
+				got := sol.Solve(upto, k)
+				want := Greedy(col, upto, k)
+				assertSameResult(t, "doubling", got, want)
+				if sol.Scanned() != upto {
+					t.Fatalf("scanned %d want %d", sol.Scanned(), upto)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverEquivalentOnHalfPrefixes mirrors D-SSA's access pattern: the
+// stream holds 2·half sets but the solve runs over the first half only.
+func TestSolverEquivalentOnHalfPrefixes(t *testing.T) {
+	col := buildCollection(t, 60, 350, 0, 77)
+	sol := NewSolver(col)
+	for _, half := range []int{30, 60, 120, 240, 480} {
+		col.GenerateTo(2 * half)
+		got := sol.Solve(half, 6)
+		want := Greedy(col, half, 6)
+		assertSameResult(t, "half-prefix", got, want)
+	}
+}
+
+// TestSolverIrregularSchedule exercises non-power-of-two growth (TIM/IMM
+// probe sizes are not powers of two) including repeated solves at the same
+// prefix length and varying k between checkpoints.
+func TestSolverIrregularSchedule(t *testing.T) {
+	col := buildCollection(t, 50, 300, 0, 101)
+	sol := NewSolver(col)
+	ks := []int{3, 1, 7, 7, 2, 11}
+	for i, next := range []int{17, 17, 61, 200, 203, 997} {
+		col.GenerateTo(next)
+		got := sol.Solve(next, ks[i])
+		want := Greedy(col, next, ks[i])
+		assertSameResult(t, "irregular", got, want)
+	}
+}
+
+// TestSolverNonMonotonicFallsBack asserts a shrinking upto still returns
+// the exact Greedy solution (via the from-scratch fallback) and leaves the
+// incremental state usable.
+func TestSolverNonMonotonicFallsBack(t *testing.T) {
+	col := buildCollection(t, 40, 250, 600, 55)
+	sol := NewSolver(col)
+	full := sol.Solve(600, 5)
+	assertSameResult(t, "full", full, Greedy(col, 600, 5))
+	small := sol.Solve(100, 5)
+	assertSameResult(t, "shrunk", small, Greedy(col, 100, 5))
+	again := sol.Solve(600, 5)
+	assertSameResult(t, "recovered", again, full)
+}
+
+// TestSolverSeedsAreFreshSlices guards the retention contract: callers keep
+// Result.Seeds across checkpoints (SSA reports the last candidate after the
+// loop), so a later Solve must not clobber an earlier result.
+func TestSolverSeedsAreFreshSlices(t *testing.T) {
+	col := buildCollection(t, 50, 300, 0, 91)
+	sol := NewSolver(col)
+	col.GenerateTo(200)
+	first := sol.Solve(200, 5)
+	firstCopy := append([]uint32(nil), first.Seeds...)
+	col.GenerateTo(800)
+	_ = sol.Solve(800, 5)
+	for i := range first.Seeds {
+		if first.Seeds[i] != firstCopy[i] {
+			t.Fatal("earlier Result.Seeds mutated by a later Solve")
+		}
+	}
+}
+
+// TestSolverPadding: when coverage saturates, padding must match Greedy's
+// (lowest unused ids) and not leak pad marks into later solves.
+func TestSolverPadding(t *testing.T) {
+	col := buildCollection(t, 10, 30, 0, 21)
+	sol := NewSolver(col)
+	for _, next := range []int{5, 20, 80} {
+		col.GenerateTo(next)
+		got := sol.Solve(next, 9)
+		want := Greedy(col, next, 9)
+		assertSameResult(t, "padding", got, want)
+	}
+}
+
+// TestSolverWeightedCollection runs the equivalence on a WRIS (weighted
+// root) collection under the LT model, covering the second sampler family.
+func TestSolverWeightedCollection(t *testing.T) {
+	g, err := gen.ChungLu(120, 700, 2.1, 17, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = float64(i%7) + 0.5
+	}
+	s, err := ris.NewWeightedSampler(g, diffusion.LT, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := ris.NewCollection(s, 23, 3)
+	sol := NewSolver(col)
+	for _, next := range []int{40, 160, 640} {
+		col.GenerateTo(next)
+		got := sol.Solve(next, 8)
+		want := Greedy(col, next, 8)
+		assertSameResult(t, "wris", got, want)
+	}
+}
+
+// checkpointSchedule is the doubling schedule shared by the two
+// checkpoint-path benchmarks below.
+var checkpointSchedule = []int{1000, 2000, 4000, 8000, 16000, 32000}
+
+func buildBenchCollection(b *testing.B) *ris.Collection {
+	b.Helper()
+	col := buildCollection(b, 4000, 24000, 0, 3)
+	col.GenerateTo(checkpointSchedule[len(checkpointSchedule)-1])
+	return col
+}
+
+// BenchmarkCheckpointGreedyScratch is the pre-refactor checkpoint path:
+// a from-scratch Greedy at every checkpoint of a doubling schedule.
+func BenchmarkCheckpointGreedyScratch(b *testing.B) {
+	col := buildBenchCollection(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, upto := range checkpointSchedule {
+			Greedy(col, upto, 50)
+		}
+	}
+}
+
+// BenchmarkCheckpointGreedyIncremental is the same schedule through one
+// incremental Solver: each checkpoint scans only the new stream suffix.
+func BenchmarkCheckpointGreedyIncremental(b *testing.B) {
+	col := buildBenchCollection(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := NewSolver(col)
+		for _, upto := range checkpointSchedule {
+			sol.Solve(upto, 50)
+		}
+	}
+}

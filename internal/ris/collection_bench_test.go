@@ -1,0 +1,50 @@
+package ris
+
+import (
+	"testing"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/gen"
+	"stopandstare/internal/graph"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.ChungLu(20000, 120000, 2.1, 9, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkGenerate measures cold generation of a stream into the arena
+// (sets + CSR index block) per model; allocations are the headline metric.
+func BenchmarkGenerate(b *testing.B) {
+	g := benchGraph(b)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		b.Run(model.String(), func(b *testing.B) {
+			s := mustSampler(b, g, model)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col := NewCollection(s, uint64(i)+1, 4)
+				col.Generate(20000)
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateDoubling measures a doubling growth schedule — the
+// allocation pattern SSA/D-SSA actually produce — rather than one bulk call.
+func BenchmarkGenerateDoubling(b *testing.B) {
+	g := benchGraph(b)
+	s := mustSampler(b, g, diffusion.LT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := NewCollection(s, uint64(i)+1, 4)
+		for target := 500; target <= 32000; target *= 2 {
+			col.GenerateTo(target)
+		}
+	}
+}

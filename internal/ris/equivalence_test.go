@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"stopandstare/internal/diffusion"
+	"stopandstare/internal/gen"
 	"stopandstare/internal/graph"
 )
 
@@ -47,6 +48,112 @@ func TestRISEqualsForwardOnReverseGraph(t *testing.T) {
 	freq := float64(len(col.Index(0))) / N * s.Scale()
 	if math.Abs(freq-exact) > 0.05 {
 		t.Fatalf("RR frequency estimate %v vs exact %v", freq, exact)
+	}
+}
+
+// TestArenaBitIdenticalAcrossWorkersAndSchedules pins the determinism
+// contract of the arena-backed collection: for a fixed seed, the arena
+// contents, offsets, aggregates and CSR index postings are bit-identical
+// regardless of worker count AND regardless of how the stream growth is
+// sliced into Generate calls (which changes the CSR block boundaries).
+func TestArenaBitIdenticalAcrossWorkersAndSchedules(t *testing.T) {
+	g, err := gen.ChungLu(250, 1400, 2.1, 83, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := mustSampler(t, g, model)
+		ref := NewCollection(s, 123, 1)
+		ref.Generate(2500)
+		variants := []struct {
+			name     string
+			workers  int
+			schedule []int
+		}{
+			{"w4-one-shot", 4, []int{2500}},
+			{"w2-doubling", 2, []int{100, 200, 400, 800, 1600, 2500}},
+			{"w8-irregular", 8, []int{1, 3, 700, 701, 2499, 2500}},
+		}
+		for _, vc := range variants {
+			col := NewCollection(s, 123, vc.workers)
+			for _, target := range vc.schedule {
+				col.GenerateTo(target)
+			}
+			if col.Len() != ref.Len() || col.Items() != ref.Items() || col.Width() != ref.Width() {
+				t.Fatalf("%v/%s: aggregates differ from reference", model, vc.name)
+			}
+			for i := 0; i < ref.Len(); i++ {
+				a, b := ref.Set(i), col.Set(i)
+				if len(a) != len(b) {
+					t.Fatalf("%v/%s: set %d length differs", model, vc.name, i)
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%v/%s: set %d differs at %d", model, vc.name, i, j)
+					}
+				}
+			}
+			// The index must present the same postings even though the two
+			// collections carry different CSR block boundaries.
+			for v := uint32(0); int(v) < g.NumNodes(); v++ {
+				ia, ib := ref.Index(v), col.Index(v)
+				if len(ia) != len(ib) {
+					t.Fatalf("%v/%s: node %d postings length differs", model, vc.name, v)
+				}
+				for j := range ia {
+					if ia[j] != ib[j] {
+						t.Fatalf("%v/%s: node %d postings differ", model, vc.name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPostingsMatchIndexUpto checks the zero-allocation postings iterator
+// against the gathered IndexUpto view for cutoffs that fall inside, on, and
+// beyond CSR block boundaries.
+func TestPostingsMatchIndexUpto(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 700, 19, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSampler(t, g, diffusion.IC)
+	col := NewCollection(s, 7, 3)
+	for _, target := range []int{300, 600, 1200} { // three CSR blocks
+		col.GenerateTo(target)
+	}
+	for _, upto := range []int{0, 1, 299, 300, 301, 600, 750, 1200, 5000} {
+		for v := uint32(0); int(v) < g.NumNodes(); v += 5 {
+			want := col.IndexUpto(v, upto)
+			var got []int32
+			it := col.PostingsUpto(v, upto)
+			prev := int32(-1)
+			for {
+				run, ok := it.Next()
+				if !ok {
+					break
+				}
+				if len(run) == 0 {
+					t.Fatal("iterator yielded an empty run")
+				}
+				for _, id := range run {
+					if id <= prev {
+						t.Fatalf("postings not strictly ascending at upto=%d", upto)
+					}
+					prev = id
+					got = append(got, id)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("upto=%d v=%d: iterator %d ids, gather %d", upto, v, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("upto=%d v=%d: posting %d differs", upto, v, i)
+				}
+			}
+		}
 	}
 }
 

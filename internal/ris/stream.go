@@ -16,3 +16,10 @@ func streamFor(seed, id uint64) *rng.Source {
 func VerifyStream(seed, id uint64) *rng.Source {
 	return rng.NewStream(seed, id|1<<62)
 }
+
+// SeedVerifyStream re-seeds r in place to VerifyStream(seed, id)'s sequence,
+// for callers that draw one verification RR set per loop iteration and want
+// to avoid a Source allocation per sample.
+func SeedVerifyStream(r *rng.Source, seed, id uint64) {
+	r.SeedStream(seed, id|1<<62)
+}

@@ -41,11 +41,21 @@ func New(seed uint64) *Source {
 // the foundation of deterministic parallel RR-set generation: the RR set
 // with global index i is always produced by NewStream(seed, i).
 func NewStream(seed, stream uint64) *Source {
+	var s Source
+	s.SeedStream(seed, stream)
+	return &s
+}
+
+// SeedStream resets r in place to the start of logical stream `stream` of
+// the given seed, yielding the identical sequence to NewStream(seed, stream)
+// without allocating. Hot loops that re-derive one stream per work item
+// (e.g. one per RR set) keep a Source value and re-seed it.
+func (r *Source) SeedStream(seed, stream uint64) {
 	// Mix the stream id through splitmix64 before combining so that
 	// consecutive stream ids land far apart in seed space.
 	x := stream
 	h := splitMix64(&x)
-	return New(seed ^ h ^ 0x6A09E667F3BCC909)
+	r.Seed(seed ^ h ^ 0x6A09E667F3BCC909)
 }
 
 // Seed resets the generator state from a single 64-bit seed.

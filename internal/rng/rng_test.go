@@ -296,3 +296,19 @@ func BenchmarkAliasSample(b *testing.B) {
 	}
 	_ = acc
 }
+
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	var r Source
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		for _, stream := range []uint64{0, 1, 2, 1<<62 | 7, ^uint64(0)} {
+			want := NewStream(seed, stream)
+			r.SeedStream(seed, stream)
+			for i := 0; i < 64; i++ {
+				if got, w := r.Uint64(), want.Uint64(); got != w {
+					t.Fatalf("seed=%d stream=%d draw %d: SeedStream %x != NewStream %x",
+						seed, stream, i, got, w)
+				}
+			}
+		}
+	}
+}
