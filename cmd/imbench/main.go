@@ -6,6 +6,7 @@
 //	imbench -exp table3,fig8        # selected artifacts
 //	imbench -exp fig4 -quick        # reduced sweep
 //	imbench -list                   # show the registry
+//	imbench -perf BENCH_PR2.json    # machine-readable hot-path perf report
 package main
 
 import (
@@ -31,12 +32,21 @@ func main() {
 		mcRuns   = flag.Int("mc", 0, "MC runs for scoring seed sets (0 = default)")
 		kList    = flag.String("k", "", "override k sweep, comma-separated")
 		celf     = flag.Bool("celf", false, "include CELF++ on nethept sweeps (slow)")
+		perf     = flag.String("perf", "", "write the hot-path perf suite as JSON to this path and exit")
 	)
 	flag.Parse()
 	if *list {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-14s %s\n", e.ID, e.Description)
 		}
+		return
+	}
+	if *perf != "" {
+		if err := bench.WritePerfJSON(*perf, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf report written to %s\n", *perf)
 		return
 	}
 	if *exps == "" {

@@ -5,7 +5,11 @@
 //
 //	imtvm -graph twitter.ssg -algo dssa -k 100
 //	imtvm -graph twitter.ssg -algo dssa -budget 250 -cost-exponent 0.5
+//	imtvm -graph twitter.ssg -budgets 50,100,200,400
 //	imtvm -graph twitter.ssg -weights weights.txt -algo tim+ -k 100
+//
+// -budgets sweeps several spending caps over one shared sample collection
+// (one RR stream scan for the whole sweep instead of one per budget).
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		algo     = flag.String("algo", "dssa", "dssa, ssa, or tim+ (KB-TIM)")
 		k        = flag.Int("k", 50, "seed budget (cardinality mode)")
 		budget   = flag.Float64("budget", 0, "if > 0, run cost-aware mode with this budget")
+		budgets  = flag.String("budgets", "", "comma-separated budget sweep (cost-aware, one sample collection)")
 		costExp  = flag.Float64("cost-exponent", 0.5, "cost-aware: cost(v) = (1+outdeg(v))^exp")
 		model    = flag.String("model", "LT", "IC or LT")
 		eps      = flag.Float64("eps", 0.1, "epsilon")
@@ -71,11 +76,31 @@ func main() {
 			*topicIdx, tp.Name, tp.Users, tp.Gamma)
 	}
 
-	if *budget > 0 {
-		costs := make([]float64, g.NumNodes())
-		for v := range costs {
-			costs[v] = math.Pow(1+float64(g.OutDegree(uint32(v))), *costExp)
+	if *budgets != "" {
+		var sweep []float64
+		for _, f := range strings.Split(*budgets, ",") {
+			b, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fail("bad -budgets entry %q: %v", f, err)
+			}
+			sweep = append(sweep, b)
 		}
+		costs := degreeCosts(g, *costExp)
+		results, err := stopandstare.MaximizeBudgetedSweep(g, mdl, weights, sweep, stopandstare.BudgetedOptions{
+			Costs: costs, Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			fail("budget sweep: %v", err)
+		}
+		for _, res := range results {
+			fmt.Printf("budget %.1f: %d seeds, cost %.1f, est. benefit %.1f, %d RR sets (shared), %v\n",
+				res.Budget, len(res.Seeds), res.Cost, res.BenefitEstimate, res.Samples, res.Elapsed)
+		}
+		return
+	}
+
+	if *budget > 0 {
+		costs := degreeCosts(g, *costExp)
 		res, err := stopandstare.MaximizeBudgeted(g, mdl, weights, stopandstare.BudgetedOptions{
 			Budget: *budget, Costs: costs, Epsilon: *eps, Delta: *delta,
 			Seed: *seed, Workers: *workers,
@@ -102,6 +127,15 @@ func main() {
 	fmt.Printf("%s: k=%d, est. benefit %.1f of gamma %.0f, %d RR sets, %v\n",
 		al, *k, res.BenefitEstimate, res.Gamma, res.Samples, res.Elapsed)
 	report(g, mdl, weights, res.Seeds, *eval, *seed, *workers)
+}
+
+// degreeCosts builds the cost model cost(v) = (1+outdeg(v))^exp.
+func degreeCosts(g *stopandstare.Graph, exp float64) []float64 {
+	costs := make([]float64, g.NumNodes())
+	for v := range costs {
+		costs[v] = math.Pow(1+float64(g.OutDegree(uint32(v))), exp)
+	}
+	return costs
 }
 
 func report(g *stopandstare.Graph, mdl stopandstare.Model, weights []float64, seeds []uint32, eval int, seed uint64, workers int) {

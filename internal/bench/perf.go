@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"stopandstare/internal/diffusion"
+	"stopandstare/internal/gen"
+	"stopandstare/internal/graph"
+	"stopandstare/internal/maxcover"
+	"stopandstare/internal/ris"
+)
+
+// PerfRecord is one micro-benchmark measurement in the perf-trajectory
+// report: the same numbers `go test -bench` prints, in machine-readable
+// form so successive PRs can be compared mechanically.
+type PerfRecord struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// PerfReport is the schema of BENCH_PR<N>.json: hot-path measurements of
+// the paired before/after implementations that coexist in the tree (arena
+// scan vs postings walk, per-budget rescan vs incremental sweep, serial vs
+// parallel generation), so each PR's JSON pins the win it claims.
+type PerfReport struct {
+	Schema    string       `json:"schema"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Timestamp string       `json:"timestamp"`
+	Results   []PerfRecord `json:"results"`
+}
+
+func record(name string, r testing.BenchmarkResult) PerfRecord {
+	return PerfRecord{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// RunPerfSuite measures the RIS hot paths on a synthetic power-law graph.
+// Every pair below keeps the old implementation alive as the baseline, so
+// the report shows the delta, not just the new number.
+func RunPerfSuite(seed uint64) (*PerfReport, error) {
+	g, err := gen.ChungLu(20000, 120000, 2.1, seed+9, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		return nil, err
+	}
+	s, err := ris.NewSampler(g, diffusion.IC)
+	if err != nil {
+		return nil, err
+	}
+	const streamLen = 20000
+	col := ris.NewCollection(s, seed+1, 0)
+	col.Generate(streamLen)
+
+	// Seed set + mark vector for the coverage pair.
+	seeds := maxcover.Greedy(col, col.Len(), 50).Seeds
+	mark := make([]bool, g.NumNodes())
+	for _, v := range seeds {
+		mark[v] = true
+	}
+	half := col.Len() / 2
+
+	// Cost model + budget sweep for the budgeted pair.
+	costs := make([]float64, g.NumNodes())
+	for v := range costs {
+		costs[v] = float64(v%5) + 1
+	}
+	budgets := []float64{5, 10, 20, 40, 80, 160}
+
+	rep := &PerfReport{
+		Schema:    "stopandstare-perf/1",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		rep.Results = append(rep.Results, record(name, testing.Benchmark(fn)))
+	}
+
+	add("generate/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := ris.NewCollection(s, uint64(i)+seed+100, 1)
+			c.Generate(streamLen)
+		}
+	})
+	add("generate/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := ris.NewCollection(s, uint64(i)+seed+100, 0)
+			c.Generate(streamLen)
+		}
+	})
+	add("coverage_range/scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col.CoverageRange(mark, half, col.Len())
+		}
+	})
+	add("coverage_range/postings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col.CoverageRangeSeeds(seeds, half, col.Len())
+		}
+	})
+	add("budget_sweep/rescan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bud := range budgets {
+				maxcover.GreedyBudgeted(col, col.Len(), costs, bud)
+			}
+		}
+	})
+	add("budget_sweep/incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol := maxcover.NewBudgetedSolver(col, costs)
+			for _, bud := range budgets {
+				sol.Solve(col.Len(), bud)
+			}
+		}
+	})
+	return rep, nil
+}
+
+// WritePerfJSON runs the perf suite and writes the report to path
+// (conventionally BENCH_PR<N>.json at the repo root).
+func WritePerfJSON(path string, seed uint64) error {
+	rep, err := RunPerfSuite(seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing perf report: %w", err)
+	}
+	return nil
+}

@@ -49,6 +49,9 @@ func TestCertifyMatchesMCOnMidGraph(t *testing.T) {
 }
 
 func TestCertifyCheaperThanMCForSmallInfluence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph certification comparison is slow; skipped in -short")
+	}
 	// For a low-influence seed in a large graph, certification needs
 	// O(Υ·n/I) RR sets; just confirm it stays sane and terminates fast.
 	g := midGraph(t, 5000, 25000, 173)

@@ -36,7 +36,6 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 
 	col := ris.NewCollection(s, opt.Seed, opt.Workers)
 	scale := s.Scale()
-	mark := make([]bool, s.Graph().NumNodes())
 	// The candidate prefix R_t doubles every iteration, so one incremental
 	// solver scans each RR set exactly once across the whole run.
 	sol := maxcover.NewSolver(col)
@@ -51,13 +50,10 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 		// Line 8: candidate from the first half.
 		mc = sol.Solve(half, opt.K)
 		iHat := mc.Influence(scale)
-		for _, v := range mc.Seeds {
-			mark[v] = true
-		}
-		covC := col.CoverageRange(mark, half, 2*half)
-		for _, v := range mc.Seeds {
-			mark[v] = false
-		}
+		// Index-driven verification: Cov over the holdout R^c_t is a union
+		// walk of the candidates' postings in [half, 2·half) — O(Σ seed
+		// postings in the window), not a rescan of the window's RR sets.
+		covC := col.CoverageRangeSeeds(mc.Seeds, half, 2*half)
 		passed := false
 		// Line 9: condition D1 — stopping-rule check on the holdout.
 		if float64(covC) >= lambda1 {
@@ -101,11 +97,10 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 
 // boundedShift returns unit·2^sh with overflow protection.
 func boundedShift(unit, sh int) int {
-	const hardCap = int(1) << 40
 	v := unit
 	for i := 0; i < sh; i++ {
-		if v >= hardCap {
-			return hardCap
+		if v >= growthCap {
+			return growthCap
 		}
 		v *= 2
 	}

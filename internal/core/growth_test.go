@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+// TestBoundedGrowthHelpers pins the overflow guards of the doubling
+// schedules: both helpers saturate at growthCap (derived from the
+// platform's int size — the old 1<<40 literal overflowed on 32-bit) and
+// never go non-positive, however often they are applied.
+func TestBoundedGrowthHelpers(t *testing.T) {
+	if got := boundedShift(5, 3); got != 40 {
+		t.Fatalf("boundedShift(5,3) = %d, want 40", got)
+	}
+	if got := boundedShift(3, 500); got != growthCap {
+		t.Fatalf("boundedShift must saturate at growthCap, got %d", got)
+	}
+	if got := boundedDouble(7); got != 14 {
+		t.Fatalf("boundedDouble(7) = %d, want 14", got)
+	}
+	if got := boundedDouble(0); got != 1 {
+		t.Fatalf("boundedDouble(0) = %d, want 1", got)
+	}
+	if got := boundedDouble(growthCap + 1); got != growthCap+1 {
+		t.Fatalf("boundedDouble past the cap must not grow, got %d", got)
+	}
+	v := 1
+	for i := 0; i < 200; i++ {
+		v = boundedDouble(v)
+		if v <= 0 {
+			t.Fatalf("boundedDouble overflowed to %d after %d doublings", v, i+1)
+		}
+	}
+	if v < growthCap || boundedDouble(v) != v {
+		t.Fatalf("repeated doubling should reach a fixed point at/just past growthCap, got %d", v)
+	}
+	// D-SSA generates 2·half with half ≤ the cap's fixed point; that
+	// product must stay within int range (the cap leaves two bits of
+	// headroom by construction).
+	if 2*v <= 0 {
+		t.Fatalf("2·%d overflowed", v)
+	}
+}

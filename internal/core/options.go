@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"stopandstare/internal/ris"
@@ -36,7 +37,9 @@ type Options struct {
 	// Seed drives all randomness; runs are deterministic in (Seed, Workers-
 	// independent).
 	Seed uint64
-	// Workers bounds sampling parallelism; ≤0 means 1.
+	// Workers bounds sampling parallelism; ≤0 selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical at any worker
+	// count, so the default costs nothing in reproducibility.
 	Workers int
 	// OptLowerBound is a known lower bound on OPT_k used only to size the
 	// Nmax safety cap. Defaults to K for IM (each seed influences at least
@@ -97,6 +100,13 @@ type Result struct {
 	MemoryBytes int64
 }
 
+// growthCap bounds the sample-count doubling schedules: doubling stops
+// once a count reaches it, keeping every `2·n` and `v *= 2` below int
+// overflow on any platform. (A previous fixed literal of 1<<40 itself
+// overflowed int on 32-bit builds; deriving the cap from the platform's
+// int size makes the guard portable.)
+const growthCap = math.MaxInt / 4
+
 // Validation errors.
 var (
 	ErrNilSampler = errors.New("core: nil sampler")
@@ -124,7 +134,7 @@ func (o *Options) normalize(s *ris.Sampler) error {
 		return fmt.Errorf("core: delta=%v outside (0,1)", o.Delta)
 	}
 	if o.Workers <= 0 {
-		o.Workers = 1
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.OptLowerBound <= 0 {
 		o.OptLowerBound = float64(o.K)

@@ -107,8 +107,7 @@ func boundedDouble(n int) int {
 	if n <= 0 {
 		return 1
 	}
-	const hardCap = int(1) << 40
-	if n >= hardCap {
+	if n >= growthCap {
 		return n
 	}
 	return 2 * n

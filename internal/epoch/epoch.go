@@ -1,0 +1,46 @@
+// Package epoch provides a reusable epoch-stamped visited set: marking is
+// O(1), and clearing between passes is an O(1) generation bump instead of
+// an O(n) zeroing sweep. Both the max-coverage solvers (covered RR sets
+// per selection) and the index-driven coverage walk (counted ids per
+// window) need exactly this shape, so the grow/rollover/bump bookkeeping
+// lives here once.
+package epoch
+
+import "math"
+
+// Marks is an epoch-stamped visited set over ids [0, n). The zero value is
+// ready to use after a Reset.
+type Marks struct {
+	gen   int32
+	marks []int32
+}
+
+// Reset prepares the set for a fresh pass over ids [0, n): it grows the
+// backing array as needed and opens a new generation (with the rare O(n)
+// clear when the generation counter would overflow).
+func (m *Marks) Reset(n int) {
+	if len(m.marks) < n {
+		m.marks = make([]int32, n)
+		m.gen = 0
+	}
+	if m.gen == math.MaxInt32 {
+		for i := range m.marks {
+			m.marks[i] = 0
+		}
+		m.gen = 0
+	}
+	m.gen++
+}
+
+// Visit marks id and reports whether this was its first visit in the
+// current generation.
+func (m *Marks) Visit(id int32) bool {
+	if m.marks[id] == m.gen {
+		return false
+	}
+	m.marks[id] = m.gen
+	return true
+}
+
+// Cap returns the backing array's capacity (for memory accounting).
+func (m *Marks) Cap() int { return cap(m.marks) }

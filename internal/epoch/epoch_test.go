@@ -1,0 +1,47 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarksVisitOncePerGeneration(t *testing.T) {
+	var m Marks
+	m.Reset(10)
+	if !m.Visit(3) {
+		t.Fatal("first visit must report true")
+	}
+	if m.Visit(3) {
+		t.Fatal("second visit in the same generation must report false")
+	}
+	m.Reset(10)
+	if !m.Visit(3) {
+		t.Fatal("a Reset must open a fresh generation")
+	}
+}
+
+func TestMarksGrowAndRollover(t *testing.T) {
+	var m Marks
+	m.Reset(4)
+	m.Visit(2)
+	m.Reset(16) // grow: old stamps discarded with the array
+	if !m.Visit(2) || !m.Visit(15) {
+		t.Fatal("growing must leave every id unvisited")
+	}
+	if m.Cap() < 16 {
+		t.Fatalf("cap %d after growing to 16", m.Cap())
+	}
+	// Force the generation counter to its ceiling: the next Reset must
+	// clear rather than collide with stale stamps.
+	m.gen = math.MaxInt32
+	for i := range m.marks {
+		m.marks[i] = math.MaxInt32 // worst case: stale stamps at the ceiling
+	}
+	m.Reset(16)
+	if !m.Visit(5) {
+		t.Fatal("rollover Reset must clear stale stamps")
+	}
+	if m.Visit(5) {
+		t.Fatal("rollover generation must still dedupe")
+	}
+}

@@ -1,6 +1,9 @@
 package maxcover
 
-import "stopandstare/internal/ris"
+import (
+	"stopandstare/internal/epoch"
+	"stopandstare/internal/ris"
+)
 
 // BudgetedResult is a budgeted max-coverage solution.
 type BudgetedResult struct {
@@ -27,14 +30,68 @@ type ratioCand struct {
 // above orders the ratio-greedy max-heap on benefit/cost (see heap.go).
 func (c ratioCand) above(o ratioCand) bool { return c.ratio > o.ratio }
 
-// GreedyBudgeted solves budgeted max-coverage over RR sets [0, upto):
-// select nodes maximising coverage subject to Σ cost(v) ≤ budget, by the
-// classic lazy benefit/cost-ratio greedy. Combined with the best single
-// affordable node (Khuller–Moss–Naor), ratio greedy guarantees
-// (1−1/√e) ≈ 0.39 of the optimum; this is the selection rule of the
-// authors' cost-aware follow-up (BCT, INFOCOM'16 — reference [12] of the
-// paper under reproduction).
-func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64) BudgetedResult {
+// BudgetedSolver is the ratio-greedy analogue of Solver: an incremental
+// budgeted max-coverage solver over a growing RR stream. A budget sweep —
+// TipTop-style repeated solves of one sample collection under different
+// spending caps — rescans the entire stream once per budget when done with
+// GreedyBudgeted. A BudgetedSolver keeps the selection-free gain counts
+// alive across solves, so each Solve(upto, budget) scans only RR sets added
+// since the previous call; for a sweep over a fixed collection that is one
+// stream scan total, with per-budget cost proportional to the covered
+// items. Scratch (the working gain copy, the epoch-stamped covered marks,
+// and the heap backing array) is reused across solves.
+//
+// Equivalence with GreedyBudgeted is exact: the persistent gains after
+// scanning [0, upto) equal the from-scratch counts, the heap is rebuilt per
+// solve in ascending node order under the same affordability filter, and
+// the selection loop replicates the lazy ratio-greedy plus the
+// Khuller–Moss–Naor single-node fix-up step for step. GreedyBudgeted is a
+// thin wrapper over a fresh BudgetedSolver.
+//
+// Solve expects upto to be non-decreasing across calls; a smaller upto
+// falls back to a fresh from-scratch solve, preserving semantics at the
+// old cost. The costs slice must not be mutated between solves.
+type BudgetedSolver struct {
+	c       *ris.Collection
+	costs   []float64
+	scanned int         // RR sets [0, scanned) are counted in gains
+	gains   []int32     // selection-free occurrence counts
+	work    []int32     // per-Solve gain copy, decremented during selection
+	covered epoch.Marks // covered RR-set ids, cleared per Solve by epoch bump
+	inSeed  []bool      // selection marks, reset before Solve returns
+	h       []ratioCand // heap backing array reused across Solves
+}
+
+// NewBudgetedSolver creates an incremental budgeted solver bound to a
+// collection. Costs[v] is the price of seeding v (entries ≤ 0 default
+// to 1, and a short or nil slice defaults the missing tail).
+func NewBudgetedSolver(c *ris.Collection, costs []float64) *BudgetedSolver {
+	n := c.NumNodes()
+	return &BudgetedSolver{
+		c:      c,
+		costs:  costs,
+		gains:  make([]int32, n),
+		work:   make([]int32, n),
+		inSeed: make([]bool, n),
+	}
+}
+
+// Scanned returns the stream prefix length folded into the gain counts.
+func (s *BudgetedSolver) Scanned() int { return s.scanned }
+
+func (s *BudgetedSolver) costOf(v uint32) float64 {
+	if int(v) < len(s.costs) && s.costs[v] > 0 {
+		return s.costs[v]
+	}
+	return 1
+}
+
+// Solve returns the lazy ratio-greedy budgeted solution over RR sets
+// [0, upto), identical to GreedyBudgeted(c, upto, costs, budget). Only sets
+// [scanned, upto) are read to update gains; the selection cost is
+// proportional to the covered items, not the stream length.
+func (s *BudgetedSolver) Solve(upto int, budget float64) BudgetedResult {
+	c := s.c
 	n := c.NumNodes()
 	if upto > c.Len() {
 		upto = c.Len()
@@ -43,62 +100,65 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 	if budget <= 0 {
 		return res
 	}
-
-	gains := make([]int32, n)
-	for i := 0; i < upto; i++ {
+	if upto < s.scanned {
+		// Non-monotonic use: recompute from scratch without disturbing the
+		// incremental state.
+		return NewBudgetedSolver(c, s.costs).Solve(upto, budget)
+	}
+	// Incremental gain update: only the new suffix is scanned.
+	for i := s.scanned; i < upto; i++ {
 		for _, v := range c.Set(i) {
-			gains[v]++
+			s.gains[v]++
 		}
 	}
-	covered := make([]bool, upto)
-	inSeed := make([]bool, n)
-	costOf := func(v uint32) float64 {
-		if int(v) < len(costs) && costs[v] > 0 {
-			return costs[v]
-		}
-		return 1
-	}
+	s.scanned = upto
 
-	h := make([]ratioCand, 0, n)
+	copy(s.work, s.gains)
+	// Rebuild the heap in ascending node order into the reused backing
+	// array under this budget's affordability filter: the initial state is
+	// then bit-identical to a from-scratch ratio greedy.
+	s.h = s.h[:0]
 	for v := 0; v < n; v++ {
-		if gains[v] > 0 && costOf(uint32(v)) <= budget {
-			h = append(h, ratioCand{node: uint32(v), gain: gains[v],
-				ratio: float64(gains[v]) / costOf(uint32(v))})
+		if s.work[v] > 0 && s.costOf(uint32(v)) <= budget {
+			s.h = append(s.h, ratioCand{node: uint32(v), gain: s.work[v],
+				ratio: float64(s.work[v]) / s.costOf(uint32(v))})
 		}
 	}
-	heapInit(h)
+	heapInit(s.h)
+
+	s.covered.Reset(upto)
 
 	remaining := budget
 	// Track the best single affordable node for the KMN fix-up.
 	bestSingle := int32(-1)
 	var bestSingleNode uint32
 	for v := 0; v < n; v++ {
-		if costOf(uint32(v)) <= budget && gains[v] > bestSingle {
-			bestSingle = gains[v]
+		if s.costOf(uint32(v)) <= budget && s.gains[v] > bestSingle {
+			bestSingle = s.gains[v]
 			bestSingleNode = uint32(v)
 		}
 	}
 
-	for len(h) > 0 {
-		top := heapPop(&h)
+	for len(s.h) > 0 {
+		top := heapPop(&s.h)
 		v := top.node
-		if inSeed[v] || gains[v] <= 0 {
+		if s.inSeed[v] || s.work[v] <= 0 {
 			continue
 		}
-		cost := costOf(v)
+		cost := s.costOf(v)
 		if cost > remaining {
 			continue // cannot afford; drop (lazy heap keeps others coming)
 		}
-		if cur := float64(gains[v]) / cost; top.ratio != cur {
-			heapPush(&h, ratioCand{node: v, gain: gains[v], ratio: cur})
+		if cur := float64(s.work[v]) / cost; top.ratio != cur {
+			heapPush(&s.h, ratioCand{node: v, gain: s.work[v], ratio: cur})
 			continue
 		}
 		// Select.
-		inSeed[v] = true
+		s.inSeed[v] = true
 		remaining -= cost
 		res.Cost += cost
 		res.Seeds = append(res.Seeds, v)
-		res.Coverage += int64(gains[v])
+		res.Coverage += int64(s.work[v])
 		it := c.PostingsUpto(v, upto)
 		for {
 			run, ok := it.Next()
@@ -106,15 +166,17 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 				break
 			}
 			for _, id := range run {
-				if covered[id] {
+				if !s.covered.Visit(id) {
 					continue
 				}
-				covered[id] = true
 				for _, u := range c.Set(int(id)) {
-					gains[u]--
+					s.work[u]--
 				}
 			}
 		}
+	}
+	for _, v := range res.Seeds {
+		s.inSeed[v] = false
 	}
 
 	// Khuller–Moss–Naor: the better of {ratio-greedy set, best single}.
@@ -122,9 +184,24 @@ func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64
 		return BudgetedResult{
 			Seeds:    []uint32{bestSingleNode},
 			Coverage: int64(bestSingle),
-			Cost:     costOf(bestSingleNode),
+			Cost:     s.costOf(bestSingleNode),
 			Upto:     upto,
 		}
 	}
 	return res
+}
+
+// GreedyBudgeted solves budgeted max-coverage over RR sets [0, upto):
+// select nodes maximising coverage subject to Σ cost(v) ≤ budget, by the
+// classic lazy benefit/cost-ratio greedy. Combined with the best single
+// affordable node (Khuller–Moss–Naor), ratio greedy guarantees
+// (1−1/√e) ≈ 0.39 of the optimum; this is the selection rule of the
+// authors' cost-aware follow-up (BCT, INFOCOM'16 — reference [12] of the
+// paper under reproduction).
+//
+// GreedyBudgeted is the from-scratch entry point: it is exactly a fresh
+// BudgetedSolver solved once. Budget sweeps should hold a BudgetedSolver
+// instead, which scans the stream once for the entire sweep.
+func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64) BudgetedResult {
+	return NewBudgetedSolver(c, costs).Solve(upto, budget)
 }

@@ -1,0 +1,161 @@
+package maxcover
+
+import (
+	"testing"
+)
+
+func assertSameBudgeted(t *testing.T, ctx string, got, want BudgetedResult) {
+	t.Helper()
+	if got.Upto != want.Upto || got.Coverage != want.Coverage || got.Cost != want.Cost {
+		t.Fatalf("%s: got upto=%d cov=%d cost=%v, want upto=%d cov=%d cost=%v",
+			ctx, got.Upto, got.Coverage, got.Cost, want.Upto, want.Coverage, want.Cost)
+	}
+	if len(got.Seeds) != len(want.Seeds) {
+		t.Fatalf("%s: got %d seeds, want %d", ctx, len(got.Seeds), len(want.Seeds))
+	}
+	for i := range got.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("%s: seed %d differs: got %d want %d", ctx, i, got.Seeds[i], want.Seeds[i])
+		}
+	}
+}
+
+// budgetSweeps are the sweep shapes the solver identity runs over:
+// ascending, descending, duplicated, and mixed (including budgets below the
+// cheapest cost and far above saturation).
+var budgetSweeps = [][]float64{
+	{1, 2, 4, 8, 16, 32},
+	{32, 16, 8, 4, 2, 1},
+	{5, 5, 5, 5},
+	{7, 0.5, 7, 100, 3, 100, 0.5},
+}
+
+// TestBudgetedSolverMatchesGreedySweeps is the core incremental contract:
+// one persistent BudgetedSolver solving a sweep of budgets returns
+// bit-identical Seeds/Coverage/Cost to a from-scratch GreedyBudgeted per
+// budget, in any budget order.
+func TestBudgetedSolverMatchesGreedySweeps(t *testing.T) {
+	col := buildCollection(t, 60, 400, 900, 33)
+	costs := make([]float64, 60)
+	for v := range costs {
+		costs[v] = float64(v%4)*0.75 + 0.5
+	}
+	for si, sweep := range budgetSweeps {
+		sol := NewBudgetedSolver(col, costs)
+		for bi, b := range sweep {
+			got := sol.Solve(col.Len(), b)
+			want := GreedyBudgeted(col, col.Len(), costs, b)
+			assertSameBudgeted(t, "sweep", got, want)
+			if got.Upto != col.Len() {
+				t.Fatalf("sweep %d budget %d: upto %d", si, bi, got.Upto)
+			}
+		}
+	}
+}
+
+// TestBudgetedSolverIncrementalGrowth interleaves stream growth with budget
+// solves (the serving-layer pattern: a slowly growing collection answering
+// budget queries), checking only the new suffix is scanned and results stay
+// identical to from-scratch.
+func TestBudgetedSolverIncrementalGrowth(t *testing.T) {
+	col := buildCollection(t, 50, 300, 0, 41)
+	costs := make([]float64, 50)
+	for v := range costs {
+		costs[v] = float64(v%5) + 1
+	}
+	sol := NewBudgetedSolver(col, costs)
+	budgets := []float64{3, 12, 6, 25, 25, 1}
+	for i, upto := range []int{50, 50, 200, 450, 900, 900} {
+		col.GenerateTo(upto)
+		got := sol.Solve(upto, budgets[i])
+		want := GreedyBudgeted(col, upto, costs, budgets[i])
+		assertSameBudgeted(t, "growth", got, want)
+		if sol.Scanned() != upto {
+			t.Fatalf("step %d: scanned %d want %d", i, sol.Scanned(), upto)
+		}
+	}
+}
+
+// TestBudgetedSolverNonMonotonicFallsBack asserts a shrinking upto still
+// returns the exact from-scratch solution and leaves the incremental state
+// usable afterwards.
+func TestBudgetedSolverNonMonotonicFallsBack(t *testing.T) {
+	col := buildCollection(t, 40, 250, 700, 45)
+	costs := make([]float64, 40)
+	for v := range costs {
+		costs[v] = float64(v%3) + 1
+	}
+	sol := NewBudgetedSolver(col, costs)
+	full := sol.Solve(700, 15)
+	assertSameBudgeted(t, "full", full, GreedyBudgeted(col, 700, costs, 15))
+	small := sol.Solve(100, 15)
+	assertSameBudgeted(t, "shrunk", small, GreedyBudgeted(col, 100, costs, 15))
+	again := sol.Solve(700, 15)
+	assertSameBudgeted(t, "recovered", again, full)
+}
+
+// TestBudgetedSolverNilAndShortCosts covers the cost-defaulting contract
+// (nil slice, short slice: missing entries cost 1) matching GreedyBudgeted.
+func TestBudgetedSolverNilAndShortCosts(t *testing.T) {
+	col := buildCollection(t, 30, 200, 500, 49)
+	short := []float64{2, 0, 3, -1} // holes and the short tail default to 1
+	for _, costs := range [][]float64{nil, short} {
+		sol := NewBudgetedSolver(col, costs)
+		for _, b := range []float64{1, 4, 9} {
+			assertSameBudgeted(t, "costs-default",
+				sol.Solve(col.Len(), b), GreedyBudgeted(col, col.Len(), costs, b))
+		}
+	}
+}
+
+// TestBudgetedSolverZeroBudget must select nothing and leave state clean.
+func TestBudgetedSolverZeroBudget(t *testing.T) {
+	col := buildCollection(t, 20, 100, 200, 53)
+	sol := NewBudgetedSolver(col, nil)
+	res := sol.Solve(col.Len(), 0)
+	if len(res.Seeds) != 0 || res.Coverage != 0 || res.Cost != 0 {
+		t.Fatalf("zero budget must select nothing: %+v", res)
+	}
+	// State must be untouched enough that a real solve still matches.
+	assertSameBudgeted(t, "after-zero",
+		sol.Solve(col.Len(), 8), GreedyBudgeted(col, col.Len(), nil, 8))
+}
+
+// sweepBudgets is the budget list shared by the sweep benchmarks.
+var sweepBudgets = []float64{5, 10, 20, 40, 80, 160}
+
+// BenchmarkBudgetSweepRescan is the pre-refactor sweep: a from-scratch
+// GreedyBudgeted per budget, each rescanning the entire stream.
+func BenchmarkBudgetSweepRescan(b *testing.B) {
+	col := buildBenchCollection(b)
+	costs := make([]float64, col.NumNodes())
+	for v := range costs {
+		costs[v] = float64(v%5) + 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bud := range sweepBudgets {
+			GreedyBudgeted(col, col.Len(), costs, bud)
+		}
+	}
+}
+
+// BenchmarkBudgetSweepIncremental is the same sweep through one
+// BudgetedSolver: the stream is scanned once, each budget is selection
+// only.
+func BenchmarkBudgetSweepIncremental(b *testing.B) {
+	col := buildBenchCollection(b)
+	costs := make([]float64, col.NumNodes())
+	for v := range costs {
+		costs[v] = float64(v%5) + 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := NewBudgetedSolver(col, costs)
+		for _, bud := range sweepBudgets {
+			sol.Solve(col.Len(), bud)
+		}
+	}
+}

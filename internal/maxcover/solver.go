@@ -1,8 +1,7 @@
 package maxcover
 
 import (
-	"math"
-
+	"stopandstare/internal/epoch"
 	"stopandstare/internal/ris"
 )
 
@@ -29,11 +28,10 @@ import (
 // fresh from-scratch solve, preserving semantics at the old cost.
 type Solver struct {
 	c       *ris.Collection
-	scanned int     // RR sets [0, scanned) are counted in gains
-	gains   []int32 // selection-free occurrence counts
-	work    []int32 // per-Solve gain copy, decremented during selection
-	covered []int32 // epoch stamps per RR-set id
-	epoch   int32
+	scanned int         // RR sets [0, scanned) are counted in gains
+	gains   []int32     // selection-free occurrence counts
+	work    []int32     // per-Solve gain copy, decremented during selection
+	covered epoch.Marks // covered RR-set ids, cleared per Solve by epoch bump
 	inSeed  []bool      // selection marks, reset before Solve returns
 	h       []candidate // heap backing array reused across Solves
 }
@@ -90,17 +88,7 @@ func (s *Solver) Solve(upto, k int) Result {
 	}
 	heapInit(s.h)
 
-	if len(s.covered) < upto {
-		s.covered = make([]int32, upto)
-		s.epoch = 0
-	}
-	if s.epoch == math.MaxInt32 {
-		for i := range s.covered {
-			s.covered[i] = 0
-		}
-		s.epoch = 0
-	}
-	s.epoch++
+	s.covered.Reset(upto)
 
 	for len(res.Seeds) < k && len(s.h) > 0 {
 		top := heapPop(&s.h)
@@ -128,10 +116,9 @@ func (s *Solver) Solve(upto, k int) Result {
 				break
 			}
 			for _, id := range run {
-				if s.covered[id] == s.epoch {
+				if !s.covered.Visit(id) {
 					continue
 				}
-				s.covered[id] = s.epoch
 				for _, u := range c.Set(int(id)) {
 					s.work[u]--
 				}

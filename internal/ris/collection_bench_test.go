@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"sort"
 	"testing"
 
 	"stopandstare/internal/diffusion"
@@ -46,5 +47,77 @@ func BenchmarkGenerateDoubling(b *testing.B) {
 		for target := 500; target <= 32000; target *= 2 {
 			col.GenerateTo(target)
 		}
+	}
+}
+
+// benchmarkIndexBuild measures one full CSR block build over a 40k-set
+// stream at the given worker count, isolated from sampling: the index is
+// dropped and rebuilt each iteration.
+func benchmarkIndexBuild(b *testing.B, workers int) {
+	g := benchGraph(b)
+	s := mustSampler(b, g, diffusion.IC)
+	col := NewCollection(s, 11, workers)
+	col.Generate(40000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.blocks = col.blocks[:0]
+		col.appendIndexBlock(0, col.Len())
+	}
+}
+
+// BenchmarkIndexBuildSerial is the pre-refactor build: one thread counts,
+// prefix-sums and places every posting.
+func BenchmarkIndexBuildSerial(b *testing.B) { benchmarkIndexBuild(b, 1) }
+
+// BenchmarkIndexBuildParallel is the per-worker counting + prefix-sum merge
+// + disjoint placement build at 4 workers; the layout is bit-identical to
+// the serial one. The wall-clock win needs ≥ 4 hardware threads — on a
+// single-core machine this degenerates to the serial cost plus goroutine
+// overhead.
+func BenchmarkIndexBuildParallel(b *testing.B) { benchmarkIndexBuild(b, 4) }
+
+// coverageBench builds the D-SSA verification scenario: a 20k-set stream, a
+// 50-node candidate seed set (the highest-posting nodes, as greedy would
+// pick), and the holdout window [half, len).
+func coverageBench(b *testing.B) (col *Collection, seeds []uint32, mark []bool, half int) {
+	g := benchGraph(b)
+	s := mustSampler(b, g, diffusion.IC)
+	col = NewCollection(s, 17, 0)
+	col.Generate(20000)
+	nodes := make([]uint32, g.NumNodes())
+	for v := range nodes {
+		nodes[v] = uint32(v)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return len(col.Index(nodes[i])) > len(col.Index(nodes[j]))
+	})
+	mark = make([]bool, g.NumNodes())
+	for _, v := range nodes[:50] {
+		seeds = append(seeds, v)
+		mark[v] = true
+	}
+	return col, seeds, mark, col.Len() / 2
+}
+
+// BenchmarkCoverageRangeScan is the pre-refactor holdout check: an arena
+// scan over every RR set in the window.
+func BenchmarkCoverageRangeScan(b *testing.B) {
+	col, _, mark, half := coverageBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.CoverageRange(mark, half, col.Len())
+	}
+}
+
+// BenchmarkCoverageRangePostings is the index-driven check: a k-way union
+// walk of the seeds' postings in the window.
+func BenchmarkCoverageRangePostings(b *testing.B) {
+	col, seeds, _, half := coverageBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.CoverageRangeSeeds(seeds, half, col.Len())
 	}
 }

@@ -1,0 +1,53 @@
+package ris
+
+// This file implements index-driven coverage counting: Cov_R(S) over an id
+// window computed as a union walk of the seeds' postings runs, so the cost
+// is O(Σ seed postings in the window) instead of O(items in the window).
+// This is what makes D-SSA's per-checkpoint verification (Alg. 4 lines
+// 9–15) proportional to touched postings rather than stream length: the
+// holdout half R^c_t is never rescanned — only the index runs of the k
+// candidate seeds are visited, each id counted once via an epoch-stamped
+// mark (the same trick maxcover's solvers use for covered sets, so a
+// checkpoint costs no per-call allocation in steady state).
+
+// CoverageRangeSeeds counts how many RR sets with ids in [from, to) contain
+// at least one of the seeds — the same quantity as CoverageRange over a
+// seed-mark vector, computed from the inverted index instead of the arena.
+// Duplicate seeds are tolerated (the union dedupes them).
+//
+// The walk reuses collection-owned scratch, so calls must not race with
+// each other or with Generate (the same discipline Generate itself
+// requires; concurrent Postings/Set reads remain safe).
+func (c *Collection) CoverageRangeSeeds(seeds []uint32, from, to int) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > c.Len() {
+		to = c.Len()
+	}
+	if from >= to || len(seeds) == 0 {
+		return 0
+	}
+	c.covMark.Reset(to)
+	var cov int64
+	for _, v := range seeds {
+		it := c.PostingsRange(v, from, to)
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, id := range run {
+				if c.covMark.Visit(id) {
+					cov++
+				}
+			}
+		}
+	}
+	return cov
+}
+
+// CoverageSeeds counts Cov_R(S) over the whole stream via the index.
+func (c *Collection) CoverageSeeds(seeds []uint32) int64 {
+	return c.CoverageRangeSeeds(seeds, 0, c.Len())
+}

@@ -24,54 +24,54 @@ type BudgetedOptions struct {
 	Epsilon float64
 	Delta   float64
 	Seed    uint64
+	// Workers bounds sampling parallelism; ≤0 selects
+	// runtime.GOMAXPROCS(0) (results are worker-count-independent).
 	Workers int
 	// Samples optionally fixes the number of WRIS samples; 0 derives an
 	// Eq. 14-style threshold from the instance (see BudgetedMaximize).
 	Samples int
 }
 
+// normalize validates and fills the non-budget fields in place (the budget
+// itself is per-solve: BudgetedSweep legitimately carries many).
+func (o *BudgetedOptions) normalize(n int) error {
+	if o.Delta == 0 {
+		o.Delta = 1 / float64(n)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if !(o.Epsilon > 0 && o.Epsilon < 1) || !(o.Delta > 0 && o.Delta < 1) {
+		return fmt.Errorf("tvm: epsilon/delta out of range (%v, %v)", o.Epsilon, o.Delta)
+	}
+	return nil
+}
+
 // BudgetedResult reports a cost-aware run.
 type BudgetedResult struct {
 	Seeds   []uint32
 	Benefit float64 // Î estimate of B(S)
+	Budget  float64 // the budget this solve was run under
 	Cost    float64
 	Samples int64
 	Elapsed time.Duration
 	Memory  int64
 }
 
-// ErrBadBudget reports a non-positive budget.
-var ErrBadBudget = errors.New("tvm: budget must be positive")
+// Errors of the budgeted path.
+var (
+	ErrBadBudget = errors.New("tvm: budget must be positive")
+	ErrNoBudgets = errors.New("tvm: sweep needs at least one budget")
+)
 
-// BudgetedMaximize solves the budgeted TVM problem with WRIS sampling and
-// the Khuller–Moss–Naor ratio greedy ((1−1/√e)-approximate selection on
-// the sampled coverage instance). The sample count follows the Eq. 14
+// sampleSize derives the WRIS sample count for a budget: the Eq. 14
 // pattern with OPT lower-bounded by the largest single affordable benefit
-// and k replaced by the largest affordable seed count; pass
-// BudgetedOptions.Samples to override.
-func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (*BudgetedResult, error) {
-	start := time.Now()
-	if opt.Budget <= 0 {
-		return nil, ErrBadBudget
+// and k replaced by the largest affordable seed count.
+func (t *Instance) sampleSize(opt BudgetedOptions, budget float64) int {
+	if opt.Samples > 0 {
+		return opt.Samples
 	}
 	n := t.G.NumNodes()
-	if opt.Delta == 0 {
-		opt.Delta = 1 / float64(n)
-	}
-	if opt.Epsilon == 0 {
-		opt.Epsilon = 0.1
-	}
-	if !(opt.Epsilon > 0 && opt.Epsilon < 1) || !(opt.Delta > 0 && opt.Delta < 1) {
-		return nil, fmt.Errorf("tvm: epsilon/delta out of range (%v, %v)", opt.Epsilon, opt.Delta)
-	}
-	if opt.Workers <= 0 {
-		opt.Workers = 1
-	}
-	s, err := t.Sampler(model)
-	if err != nil {
-		return nil, err
-	}
-
 	costOf := func(v int) float64 {
 		if v < len(opt.Costs) && opt.Costs[v] > 0 {
 			return opt.Costs[v]
@@ -86,11 +86,11 @@ func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (
 		if c < minCost {
 			minCost = c
 		}
-		if c <= opt.Budget && t.Weights[v] > optLB {
+		if c <= budget && t.Weights[v] > optLB {
 			optLB = t.Weights[v]
 		}
 	}
-	kMax := int(opt.Budget / minCost)
+	kMax := int(budget / minCost)
 	if kMax < 1 {
 		kMax = 1
 	}
@@ -100,31 +100,85 @@ func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (
 	if optLB <= 0 {
 		optLB = 1
 	}
+	theta := 4 * stats.OneMinusInvE * t.Gamma *
+		(2*math.Log(2/opt.Delta) + stats.LnChoose(n, kMax)) /
+		(opt.Epsilon * opt.Epsilon * optLB)
+	const hardCap = float64(1 << 30)
+	if theta > hardCap {
+		theta = hardCap
+	}
+	if theta < 1 {
+		theta = 1
+	}
+	return int(theta)
+}
 
-	samples := opt.Samples
-	if samples <= 0 {
-		theta := 4 * stats.OneMinusInvE * t.Gamma *
-			(2*math.Log(2/opt.Delta) + stats.LnChoose(n, kMax)) /
-			(opt.Epsilon * opt.Epsilon * optLB)
-		const hardCap = float64(1 << 30)
-		if theta > hardCap {
-			theta = hardCap
+// BudgetedMaximize solves the budgeted TVM problem with WRIS sampling and
+// the Khuller–Moss–Naor ratio greedy ((1−1/√e)-approximate selection on
+// the sampled coverage instance). The sample count follows the Eq. 14
+// pattern (see sampleSize); pass BudgetedOptions.Samples to override.
+func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (*BudgetedResult, error) {
+	res, err := BudgetedSweep(t, model, []float64{opt.Budget}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// BudgetedSweep solves the budgeted TVM problem for every budget in the
+// list against ONE WRIS sample collection: the stream is generated once —
+// sized at max_b sampleSize(b) so every budget gets at least the samples
+// its standalone (ε, δ) guarantee requires (the threshold is not monotone
+// in the budget: a larger budget can afford a higher-benefit single node,
+// which shrinks its θ) — its gain counts are accumulated once by an
+// incremental maxcover.BudgetedSolver, and each budget is then a pure
+// selection pass proportional to its covered items. Each returned result
+// is bit-identical to maxcover.GreedyBudgeted on the same collection — but
+// a sweep over N budgets costs one stream scan instead of N.
+//
+// Budgets may arrive in any order (ascending, descending, duplicated);
+// every entry must be positive. Results are returned in input order, each
+// carrying its Budget, the shared sample count, and the cumulative elapsed
+// time at the point its solve finished.
+func BudgetedSweep(t *Instance, model diffusion.Model, budgets []float64, opt BudgetedOptions) ([]*BudgetedResult, error) {
+	start := time.Now()
+	if len(budgets) == 0 {
+		return nil, ErrNoBudgets
+	}
+	for _, b := range budgets {
+		if b <= 0 {
+			return nil, fmt.Errorf("%w (got %v)", ErrBadBudget, b)
 		}
-		if theta < 1 {
-			theta = 1
+	}
+	if err := opt.normalize(t.G.NumNodes()); err != nil {
+		return nil, err
+	}
+	samples := 0
+	for _, b := range budgets {
+		if s := t.sampleSize(opt, b); s > samples {
+			samples = s
 		}
-		samples = int(theta)
+	}
+	s, err := t.Sampler(model)
+	if err != nil {
+		return nil, err
 	}
 
 	col := ris.NewCollection(s, opt.Seed, opt.Workers)
 	col.Generate(samples)
-	mc := maxcover.GreedyBudgeted(col, col.Len(), opt.Costs, opt.Budget)
-	return &BudgetedResult{
-		Seeds:   mc.Seeds,
-		Benefit: mc.Influence(t.Gamma),
-		Cost:    mc.Cost,
-		Samples: int64(col.Len()),
-		Elapsed: time.Since(start),
-		Memory:  col.Bytes(),
-	}, nil
+	sol := maxcover.NewBudgetedSolver(col, opt.Costs)
+	out := make([]*BudgetedResult, len(budgets))
+	for i, b := range budgets {
+		mc := sol.Solve(col.Len(), b)
+		out[i] = &BudgetedResult{
+			Seeds:   mc.Seeds,
+			Benefit: mc.Influence(t.Gamma),
+			Budget:  b,
+			Cost:    mc.Cost,
+			Samples: int64(col.Len()),
+			Elapsed: time.Since(start),
+			Memory:  col.Bytes(),
+		}
+	}
+	return out, nil
 }

@@ -115,6 +115,9 @@ func TestTVMBenefitEstimateMatchesMC(t *testing.T) {
 }
 
 func TestTVMBeatsUntargetedIM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm TVM comparison is slow; skipped in -short")
+	}
 	// Optimising for the targeted group must collect at least as much
 	// benefit as optimising plain influence with the same budget.
 	inst := topicInstance(t, 2000, 10000, 19)
@@ -158,6 +161,9 @@ func TestKBTIM(t *testing.T) {
 }
 
 func TestStopAndStareFewerSamplesThanKBTIM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fig. 8 sample-count comparison is slow; skipped in -short")
+	}
 	// Fig. 8 shape: SSA/D-SSA beat KB-TIM on the TVM problem.
 	inst := topicInstance(t, 3000, 15000, 41)
 	kb, err := KBTIM(inst, diffusion.LT, baselines.Options{K: 20, Epsilon: 0.1, Seed: 43, Workers: 2})

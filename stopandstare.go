@@ -24,6 +24,7 @@ package stopandstare
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"stopandstare/internal/baselines"
@@ -96,7 +97,8 @@ type Options struct {
 	Delta float64
 	// Seed makes runs reproducible; 0 is a valid seed.
 	Seed uint64
-	// Workers bounds parallelism (0 ⇒ 1).
+	// Workers bounds parallelism (≤0 ⇒ runtime.GOMAXPROCS(0); results are
+	// bit-identical at any worker count).
 	Workers int
 	// MCRuns is the Monte-Carlo budget for CELF/CELF++ spread estimates
 	// (0 ⇒ 10,000, the paper's setting).
@@ -141,7 +143,7 @@ func (o Options) fill() Options {
 		o.Epsilon = 0.1
 	}
 	if o.Workers <= 0 {
-		o.Workers = 1
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.MCRuns <= 0 {
 		o.MCRuns = 10000

@@ -91,9 +91,12 @@ type BudgetedOptions struct {
 type BudgetedTVMResult struct {
 	Seeds           []uint32
 	BenefitEstimate float64
-	Cost            float64
-	Samples         int64
-	Elapsed         time.Duration
+	// Budget is the spending cap this solution was computed under (one
+	// entry of the sweep for MaximizeBudgetedSweep).
+	Budget  float64
+	Cost    float64
+	Samples int64
+	Elapsed time.Duration
 }
 
 // MaximizeBudgeted solves cost-aware TVM: maximise the targeted benefit
@@ -113,7 +116,36 @@ func MaximizeBudgeted(g *Graph, model Model, weights []float64, opt BudgetedOpti
 		return nil, err
 	}
 	return &BudgetedTVMResult{Seeds: res.Seeds, BenefitEstimate: res.Benefit,
-		Cost: res.Cost, Samples: res.Samples, Elapsed: res.Elapsed}, nil
+		Budget: res.Budget, Cost: res.Cost, Samples: res.Samples,
+		Elapsed: res.Elapsed}, nil
+}
+
+// MaximizeBudgetedSweep solves cost-aware TVM for every budget in the list
+// against one shared WRIS sample collection: the RR stream is generated and
+// scanned once (sized for the largest budget), and each budget is then an
+// incremental selection pass — each result is identical to running
+// MaximizeBudgeted on that collection, at a fraction of the cost of N
+// separate runs. Budgets may be in any order; results come back in input
+// order.
+func MaximizeBudgetedSweep(g *Graph, model Model, weights []float64, budgets []float64, opt BudgetedOptions) ([]*BudgetedTVMResult, error) {
+	inst, err := tvm.NewInstance(g, weights)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := tvm.BudgetedSweep(inst, model, budgets, tvm.BudgetedOptions{
+		Costs: opt.Costs, Epsilon: opt.Epsilon,
+		Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*BudgetedTVMResult, len(sweep))
+	for i, res := range sweep {
+		out[i] = &BudgetedTVMResult{Seeds: res.Seeds, BenefitEstimate: res.Benefit,
+			Budget: res.Budget, Cost: res.Cost, Samples: res.Samples,
+			Elapsed: res.Elapsed}
+	}
+	return out, nil
 }
 
 // EvaluateBenefit scores a seed set on the TVM objective by weighted
