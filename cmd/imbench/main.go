@@ -28,6 +28,8 @@ func main() {
 		delta    = flag.Float64("delta", 0, "delta (0 = 1/n per dataset)")
 		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		shards   = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store; results identical)")
+		shardW   = flag.Int("shard-workers", 0, "per-shard workers (0 = workers/shards)")
 		scaleMul = flag.Float64("scale", 1.0, "multiplier on default dataset scales")
 		mcRuns   = flag.Int("mc", 0, "MC runs for scoring seed sets (0 = default)")
 		kList    = flag.String("k", "", "override k sweep, comma-separated")
@@ -55,6 +57,7 @@ func main() {
 	}
 	cfg := bench.Config{
 		Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
+		Shards: *shards, ShardWorkers: *shardW,
 		ScaleMul: *scaleMul, MCRuns: *mcRuns, Quick: *quick,
 		IncludeCELF: *celf,
 	}

@@ -40,6 +40,8 @@ func main() {
 		delta    = flag.Float64("delta", 0, "delta (0 = 1/n)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		shards   = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store; results identical)")
+		shardW   = flag.Int("shard-workers", 0, "per-shard workers (0 = workers/shards)")
 		eval     = flag.Int("eval", 5000, "MC runs to score the result (0 to skip)")
 	)
 	flag.Parse()
@@ -88,6 +90,7 @@ func main() {
 		costs := degreeCosts(g, *costExp)
 		results, err := stopandstare.MaximizeBudgetedSweep(g, mdl, weights, sweep, stopandstare.BudgetedOptions{
 			Costs: costs, Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
+			Shards: *shards, ShardWorkers: *shardW,
 		})
 		if err != nil {
 			fail("budget sweep: %v", err)
@@ -103,7 +106,7 @@ func main() {
 		costs := degreeCosts(g, *costExp)
 		res, err := stopandstare.MaximizeBudgeted(g, mdl, weights, stopandstare.BudgetedOptions{
 			Budget: *budget, Costs: costs, Epsilon: *eps, Delta: *delta,
-			Seed: *seed, Workers: *workers,
+			Seed: *seed, Workers: *workers, Shards: *shards, ShardWorkers: *shardW,
 		})
 		if err != nil {
 			fail("budgeted maximize: %v", err)
@@ -120,6 +123,7 @@ func main() {
 	}
 	res, err := stopandstare.MaximizeTargeted(g, mdl, weights, al, stopandstare.Options{
 		K: *k, Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
+		Shards: *shards, ShardWorkers: *shardW,
 	})
 	if err != nil {
 		fail("maximize: %v", err)

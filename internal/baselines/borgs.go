@@ -40,7 +40,7 @@ func Borgs(s *ris.Sampler, opt BorgsOptions) (*Result, error) {
 	eps := opt.Epsilon
 	tau := opt.C * float64(opt.K) * (m + n) * math.Log2(math.Max(n, 2)) / (eps * eps * eps)
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := opt.newStore(s)
 	iterations := 0
 	// Generate until the width budget is exhausted (the SODA paper
 	// interleaves generation and width counting; predictive batching from

@@ -25,6 +25,10 @@ type Options struct {
 	Delta   float64 // 0 ⇒ 1/n, the paper's setting
 	Seed    uint64
 	Workers int
+	// Shards ≥ 1 selects the id-sharded RR store (bit-identical results);
+	// ShardWorkers bounds per-shard parallelism (≤0 derives Workers/Shards).
+	Shards       int
+	ShardWorkers int
 }
 
 // Result reports a baseline run with the same metrics as core.Result.
@@ -65,6 +69,13 @@ func (o *Options) normalize(s *ris.Sampler) error {
 	return nil
 }
 
+// newStore builds the RR-set store the options describe.
+func (o *Options) newStore(s *ris.Sampler) ris.Store {
+	return ris.NewStore(s, o.Seed, ris.StoreOptions{
+		Workers: o.Workers, Shards: o.Shards, ShardWorkers: o.ShardWorkers,
+	})
+}
+
 // IMM implements the IMM algorithm: a LowerBound estimation phase that
 // probes x = n/2^i with θ_i = λ′/x samples, followed by a node-selection
 // phase on θ = λ*/LB samples. Both phases draw from one martingale stream,
@@ -92,7 +103,7 @@ func IMM(s *ris.Sampler, opt Options) (*Result, error) {
 	epsPrime := math.Sqrt2 * eps
 	lambdaPrime := (2 + 2*epsPrime/3) * (lnCnk + lnInvDelta + math.Log(log2n)) * n / (epsPrime * epsPrime)
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := opt.newStore(s)
 	// Both IMM phases grow one martingale stream, so a single incremental
 	// solver serves every probe and the final node selection.
 	sol := maxcover.NewSolver(col)
@@ -139,7 +150,9 @@ func ceilPos(x float64) int {
 	if x < 1 || math.IsNaN(x) {
 		return 1
 	}
-	const hardCap = float64(int(1) << 40)
+	// Derived from the platform int size (a fixed 1<<40 literal itself
+	// overflows int on 32-bit builds — the CI GOARCH=386 check guards this).
+	const hardCap = float64(math.MaxInt / 4)
 	if x > hardCap {
 		x = hardCap
 	}

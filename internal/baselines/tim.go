@@ -14,7 +14,7 @@ import (
 // κ(R) = 1 − (1 − w(R)/m)^k with w(R) = Σ_{v∈R} d_in(v); accept
 // KPT* = n·Σκ/(2c_i) at the first scale where the average exceeds 1/2^i.
 // Returns KPT* and the collection (reused downstream, as TIM does).
-func kptStar(s *ris.Sampler, col *ris.Collection, k int, delta float64) (float64, int) {
+func kptStar(s *ris.Sampler, col ris.Store, k int, delta float64) (float64, int) {
 	g := s.Graph()
 	n := float64(g.NumNodes())
 	m := float64(g.NumEdges())
@@ -31,13 +31,13 @@ func kptStar(s *ris.Sampler, col *ris.Collection, k int, delta float64) (float64
 	var sumKappa float64
 	kappaAt := func(hi int) float64 {
 		// incremental: extend κ sum over sets [widthDone, hi)
-		for i := widthDone; i < hi; i++ {
+		col.ForEachSet(widthDone, hi, func(_ int, set []uint32) {
 			var w int64
-			for _, v := range col.Set(i) {
+			for _, v := range set {
 				w += int64(g.InDegree(v))
 			}
 			sumKappa += 1 - math.Pow(1-float64(w)/m, float64(k))
-		}
+		})
 		widthDone = hi
 		return sumKappa
 	}
@@ -87,7 +87,7 @@ func tim(s *ris.Sampler, opt Options, refine bool) (*Result, error) {
 	lnCnk := stats.LnChoose(g.NumNodes(), k)
 	lnInvDelta := math.Log(1 / delta)
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := opt.newStore(s)
 	// The refinement greedy (TIM+) and the final node selection reuse the
 	// same stream; the incremental solver scans it once in total.
 	sol := maxcover.NewSolver(col)

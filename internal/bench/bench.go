@@ -28,6 +28,12 @@ type Config struct {
 	Seed uint64
 	// Workers for sampling and Monte-Carlo evaluation.
 	Workers int
+	// Shards ≥ 1 stores RR sets id-sharded (ris.ShardedCollection) so the
+	// harness can compare flat vs sharded topologies on identical
+	// workloads; results are bit-identical. ShardWorkers bounds per-shard
+	// parallelism (≤0 derives Workers/Shards).
+	Shards       int
+	ShardWorkers int
 	// ScaleMul multiplies each preset's default scale (1.0 = harness
 	// defaults from gen.DefaultScales; raise toward the paper's full sizes
 	// on bigger machines).
@@ -198,7 +204,8 @@ func RunIM(d *Dataset, model diffusion.Model, algo AlgoID, k int, cfg Config) (*
 	}
 	switch algo {
 	case AlgoDSSA, AlgoSSA:
-		opt := core.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers}
+		opt := core.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed,
+			Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers}
 		var res *core.Result
 		if algo == AlgoDSSA {
 			res, err = core.DSSA(s, opt)
@@ -211,7 +218,8 @@ func RunIM(d *Dataset, model diffusion.Model, algo AlgoID, k int, cfg Config) (*
 		m.Seeds, m.Influence, m.Elapsed = res.Seeds, res.Influence, res.Elapsed
 		m.Samples, m.Memory = res.TotalSamples, res.MemoryBytes
 	case AlgoIMM, AlgoTIM, AlgoTIMPlus:
-		opt := baselines.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers}
+		opt := baselines.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed,
+			Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers}
 		var res *baselines.Result
 		switch algo {
 		case AlgoIMM:

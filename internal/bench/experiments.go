@@ -253,7 +253,8 @@ func runFig8(cfg Config, w io.Writer) error {
 			Headers: []string{"algorithm", "k", "time", "rr-sets", "benefit-est"},
 		}
 		for _, k := range ks {
-			copt := core.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers}
+			copt := core.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed,
+				Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers}
 			dres, err := tvm.DSSA(inst, diffusion.LT, copt)
 			if err != nil {
 				return err
@@ -265,7 +266,8 @@ func runFig8(cfg Config, w io.Writer) error {
 			}
 			t.AddRow("SSA", k, sres.Elapsed, sres.TotalSamples, sres.Influence)
 			kb, err := tvm.KBTIM(inst, diffusion.LT, baselines.Options{
-				K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers,
+				K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed,
+				Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers,
 			})
 			if err != nil {
 				return err
@@ -310,6 +312,7 @@ func runAblationEps(cfg Config, w io.Writer) error {
 	}
 	for _, sp := range splits {
 		opt := core.Options{K: k, Epsilon: eps, Delta: cfg.Delta, Seed: cfg.Seed, Workers: cfg.Workers,
+			Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers,
 			Eps1: sp.e1, Eps2: sp.e2, Eps3: sp.e3}
 		res, err := core.SSA(s, opt)
 		if err != nil {
@@ -347,7 +350,8 @@ func runAblationTheta(cfg Config, w io.Writer) error {
 	}
 	// Oracle threshold of Eq. 14 with OPT replaced by the best influence
 	// estimate observed (D-SSA's): N = 4(1-1/e)·n·(2ln(2/δ)+lnC(n,k))/(ε²·OPT).
-	dres, err := core.DSSA(s, core.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed, Workers: cfg.Workers})
+	dres, err := core.DSSA(s, core.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed,
+		Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers})
 	if err != nil {
 		return err
 	}
@@ -363,7 +367,8 @@ func runAblationTheta(cfg Config, w io.Writer) error {
 		},
 	}
 	t.AddRow("D-SSA", dres.TotalSamples, fmt.Sprintf("%.2fx", float64(dres.TotalSamples)/oracle), dres.Elapsed)
-	sres, err := core.SSA(s, core.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed, Workers: cfg.Workers})
+	sres, err := core.SSA(s, core.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed,
+		Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers})
 	if err != nil {
 		return err
 	}
@@ -372,7 +377,8 @@ func runAblationTheta(cfg Config, w io.Writer) error {
 		id  AlgoID
 		run func(*ris.Sampler, baselines.Options) (*baselines.Result, error)
 	}{{AlgoIMM, baselines.IMM}, {AlgoTIMPlus, baselines.TIMPlus}} {
-		res, err := pair.run(s, baselines.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed, Workers: cfg.Workers})
+		res, err := pair.run(s, baselines.Options{K: k, Epsilon: cfg.Epsilon, Delta: delta, Seed: cfg.Seed,
+			Workers: cfg.Workers, Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers})
 		if err != nil {
 			return err
 		}
@@ -405,7 +411,8 @@ func runAblationCertify(cfg Config, w io.Writer) error {
 	}
 	for _, k := range ks {
 		res, err := core.DSSA(s, core.Options{K: k, Epsilon: cfg.Epsilon, Delta: cfg.Delta,
-			Seed: cfg.Seed, Workers: cfg.Workers})
+			Seed: cfg.Seed, Workers: cfg.Workers,
+			Shards: cfg.Shards, ShardWorkers: cfg.ShardWorkers})
 		if err != nil {
 			return err
 		}

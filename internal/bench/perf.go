@@ -105,6 +105,22 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			c.Generate(streamLen)
 		}
 	})
+	// Flat vs sharded on the same workload: one shard must not regress the
+	// flat path, and multiple shards show the shard-parallel topology.
+	add("generate/sharded1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := ris.NewShardedCollection(s, uint64(i)+seed+100, 1, 0)
+			c.Generate(streamLen)
+		}
+	})
+	add("generate/sharded4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := ris.NewShardedCollection(s, uint64(i)+seed+100, 4, 0)
+			c.Generate(streamLen)
+		}
+	})
 	add("coverage_range/scan", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

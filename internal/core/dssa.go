@@ -34,7 +34,7 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 		maxIter = tmaxIter + 8
 	}
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := opt.newStore(s)
 	scale := s.Scale()
 	// The candidate prefix R_t doubles every iteration, so one incremental
 	// solver scans each RR set exactly once across the whole run.

@@ -41,6 +41,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Results are bit-identical at any worker
 	// count, so the default costs nothing in reproducibility.
 	Workers int
+	// Shards ≥ 1 stores RR sets in an id-sharded store
+	// (ris.ShardedCollection) generated shard-parallel; ≤0 selects the
+	// flat ris.Collection. Results are bit-identical at any shard count —
+	// sharding only changes the memory topology.
+	Shards int
+	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1;
+	// ≤0 derives max(1, Workers/Shards) so the total worker budget holds.
+	ShardWorkers int
 	// OptLowerBound is a known lower bound on OPT_k used only to size the
 	// Nmax safety cap. Defaults to K for IM (each seed influences at least
 	// itself); the TVM wrapper passes the top-K benefit sum.
@@ -140,6 +148,14 @@ func (o *Options) normalize(s *ris.Sampler) error {
 		o.OptLowerBound = float64(o.K)
 	}
 	return nil
+}
+
+// newStore builds the RR-set store the options describe: flat for
+// Shards ≤ 1, sharded otherwise. Both are bit-identical in results.
+func (o *Options) newStore(s *ris.Sampler) ris.Store {
+	return ris.NewStore(s, o.Seed, ris.StoreOptions{
+		Workers: o.Workers, Shards: o.Shards, ShardWorkers: o.ShardWorkers,
+	})
 }
 
 // epsSplit returns SSA's (ε₁,ε₂,ε₃): the user's values when set (validated

@@ -40,7 +40,7 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 		maxIter = imax + 8
 	}
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := opt.newStore(s)
 	col.Generate(ceilPos(lambda)) // line 4
 	est := newEstimator(s, opt.Seed)
 	scale := s.Scale()

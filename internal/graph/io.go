@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -36,16 +37,26 @@ func LoadEdgeList(r io.Reader, opt LoadOptions) (*Graph, error) {
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	b := NewBuilder(0)
 	relabel := map[uint64]uint32{}
-	mapID := func(raw uint64) uint32 {
+	// Without Relabel the raw id IS the dense node id and must fit uint32;
+	// silently truncating an oversized id would alias two distinct nodes.
+	mapID := func(raw uint64) (uint32, error) {
 		if !opt.Relabel {
-			return uint32(raw)
+			if raw > math.MaxUint32 {
+				return 0, fmt.Errorf("%w: node id %d exceeds uint32 range (use Relabel)", ErrParse, raw)
+			}
+			return uint32(raw), nil
 		}
 		if id, ok := relabel[raw]; ok {
-			return id
+			return id, nil
+		}
+		// The dense id space is uint32 too: past 2^32 distinct raw ids the
+		// counter would wrap and alias nodes just as silently.
+		if uint64(len(relabel)) > math.MaxUint32 {
+			return 0, fmt.Errorf("%w: more than 2^32 distinct node ids", ErrParse)
 		}
 		id := uint32(len(relabel))
 		relabel[raw] = id
-		return id
+		return id, nil
 	}
 	if opt.DefaultWeight == 0 {
 		opt.DefaultWeight = 1
@@ -79,7 +90,14 @@ func LoadEdgeList(r io.Reader, opt LoadOptions) (*Graph, error) {
 				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, line, err)
 			}
 		}
-		u, v := mapID(ru), mapID(rv)
+		u, err := mapID(ru)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		v, err := mapID(rv)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
 		if opt.Directed {
 			b.AddEdge(u, v, w)
 		} else {

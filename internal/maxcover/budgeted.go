@@ -50,9 +50,11 @@ func (c ratioCand) above(o ratioCand) bool { return c.ratio > o.ratio }
 //
 // Solve expects upto to be non-decreasing across calls; a smaller upto
 // falls back to a fresh from-scratch solve, preserving semantics at the
-// old cost. The costs slice must not be mutated between solves.
+// old cost. The costs slice must not be mutated between solves. Like
+// Solver, it consumes the ris.Store interface and is insensitive to the
+// store's postings-run ordering.
 type BudgetedSolver struct {
-	c       *ris.Collection
+	c       ris.Store
 	costs   []float64
 	scanned int         // RR sets [0, scanned) are counted in gains
 	gains   []int32     // selection-free occurrence counts
@@ -62,10 +64,10 @@ type BudgetedSolver struct {
 	h       []ratioCand // heap backing array reused across Solves
 }
 
-// NewBudgetedSolver creates an incremental budgeted solver bound to a
-// collection. Costs[v] is the price of seeding v (entries ≤ 0 default
+// NewBudgetedSolver creates an incremental budgeted solver bound to an
+// RR-set store. Costs[v] is the price of seeding v (entries ≤ 0 default
 // to 1, and a short or nil slice defaults the missing tail).
-func NewBudgetedSolver(c *ris.Collection, costs []float64) *BudgetedSolver {
+func NewBudgetedSolver(c ris.Store, costs []float64) *BudgetedSolver {
 	n := c.NumNodes()
 	return &BudgetedSolver{
 		c:      c,
@@ -105,12 +107,14 @@ func (s *BudgetedSolver) Solve(upto int, budget float64) BudgetedResult {
 		// incremental state.
 		return NewBudgetedSolver(c, s.costs).Solve(upto, budget)
 	}
-	// Incremental gain update: only the new suffix is scanned.
-	for i := s.scanned; i < upto; i++ {
-		for _, v := range c.Set(i) {
-			s.gains[v]++
+	// Incremental gain update: only the new suffix is scanned (ForEachSet,
+	// so a sharded store walks its shard runs without per-id lookups).
+	gains := s.gains
+	c.ForEachSet(s.scanned, upto, func(_ int, set []uint32) {
+		for _, v := range set {
+			gains[v]++
 		}
-	}
+	})
 	s.scanned = upto
 
 	copy(s.work, s.gains)
@@ -202,6 +206,6 @@ func (s *BudgetedSolver) Solve(upto int, budget float64) BudgetedResult {
 // GreedyBudgeted is the from-scratch entry point: it is exactly a fresh
 // BudgetedSolver solved once. Budget sweeps should hold a BudgetedSolver
 // instead, which scans the stream once for the entire sweep.
-func GreedyBudgeted(c *ris.Collection, upto int, costs []float64, budget float64) BudgetedResult {
+func GreedyBudgeted(c ris.Store, upto int, costs []float64, budget float64) BudgetedResult {
 	return NewBudgetedSolver(c, costs).Solve(upto, budget)
 }

@@ -43,13 +43,13 @@ func (c candidate) above(o candidate) bool { return c.gain > o.gain }
 // Greedy is the from-scratch entry point: it is exactly a fresh Solver
 // solved once. Checkpointed algorithms should hold a Solver instead, which
 // scans only the stream suffix added since the previous checkpoint.
-func Greedy(c *ris.Collection, upto, k int) Result {
+func Greedy(c ris.Store, upto, k int) Result {
 	return NewSolver(c).Solve(upto, k)
 }
 
 // CoverageOf computes Cov over [0,upto) for an arbitrary seed set (used to
 // cross-check Greedy and by tests).
-func CoverageOf(c *ris.Collection, seeds []uint32, upto int) int64 {
+func CoverageOf(c ris.Store, seeds []uint32, upto int) int64 {
 	mark := make([]bool, c.NumNodes())
 	for _, s := range seeds {
 		mark[s] = true

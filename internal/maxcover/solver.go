@@ -26,8 +26,13 @@ import (
 // Solve expects upto to be non-decreasing across calls (the doubling
 // schedules of all callers guarantee this); a smaller upto falls back to a
 // fresh from-scratch solve, preserving semantics at the old cost.
+//
+// The solver consumes the ris.Store interface only, and is insensitive to
+// the store's postings-run ordering (gain updates and covered-set walks are
+// order-independent sums), so flat and sharded stores yield bit-identical
+// Seeds and Coverage — the property the differential harness pins.
 type Solver struct {
-	c       *ris.Collection
+	c       ris.Store
 	scanned int         // RR sets [0, scanned) are counted in gains
 	gains   []int32     // selection-free occurrence counts
 	work    []int32     // per-Solve gain copy, decremented during selection
@@ -36,8 +41,8 @@ type Solver struct {
 	h       []candidate // heap backing array reused across Solves
 }
 
-// NewSolver creates an incremental solver bound to a collection.
-func NewSolver(c *ris.Collection) *Solver {
+// NewSolver creates an incremental solver bound to an RR-set store.
+func NewSolver(c ris.Store) *Solver {
 	n := c.NumNodes()
 	return &Solver{
 		c:      c,
@@ -68,12 +73,14 @@ func (s *Solver) Solve(upto, k int) Result {
 		// incremental state.
 		return NewSolver(c).Solve(upto, k)
 	}
-	// Incremental gain update: only the new suffix is scanned.
-	for i := s.scanned; i < upto; i++ {
-		for _, v := range c.Set(i) {
-			s.gains[v]++
+	// Incremental gain update: only the new suffix is scanned (ForEachSet,
+	// so a sharded store walks its shard runs without per-id lookups).
+	gains := s.gains
+	c.ForEachSet(s.scanned, upto, func(_ int, set []uint32) {
+		for _, v := range set {
+			gains[v]++
 		}
-	}
+	})
 	s.scanned = upto
 
 	res := Result{Upto: upto, Seeds: make([]uint32, 0, k)}

@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 
@@ -35,6 +36,25 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateSharded measures cold generation into the id-sharded
+// store at 1, 2 and 4 shards with the same total worker budget as
+// BenchmarkGenerate (4): shards=1 is the flat-vs-sharded overhead check
+// (one extra goroutine hop plus the gids table — it must not be slower than
+// flat), larger counts show the shard-parallel topology.
+func BenchmarkGenerateSharded(b *testing.B) {
+	g := benchGraph(b)
+	s := mustSampler(b, g, diffusion.IC)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				col := NewShardedCollection(s, uint64(i)+1, shards, 4/shards)
+				col.Generate(20000)
+			}
+		})
+	}
+}
+
 // BenchmarkGenerateDoubling measures a doubling growth schedule — the
 // allocation pattern SSA/D-SSA actually produce — rather than one bulk call.
 func BenchmarkGenerateDoubling(b *testing.B) {
@@ -62,7 +82,7 @@ func benchmarkIndexBuild(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		col.blocks = col.blocks[:0]
-		col.appendIndexBlock(0, col.Len())
+		col.appendIndexBlock(0, col.Len(), workers)
 	}
 }
 

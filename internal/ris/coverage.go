@@ -1,5 +1,7 @@
 package ris
 
+import "stopandstare/internal/epoch"
+
 // This file implements index-driven coverage counting: Cov_R(S) over an id
 // window computed as a union walk of the seeds' postings runs, so the cost
 // is O(Σ seed postings in the window) instead of O(items in the window).
@@ -8,7 +10,59 @@ package ris
 // holdout half R^c_t is never rescanned — only the index runs of the k
 // candidate seeds are visited, each id counted once via an epoch-stamped
 // mark (the same trick maxcover's solvers use for covered sets, so a
-// checkpoint costs no per-call allocation in steady state).
+// checkpoint costs no per-call allocation in steady state). The walk is
+// shared by both Store implementations: each id is counted on first visit,
+// so the per-shard interleaving of the sharded store's runs cannot change
+// the count.
+
+// coverageRange is the arena-scan oracle behind CoverageRange on both
+// stores: one pass over the window's sets, counting those that contain a
+// marked node. Built on ForEachSet so the flat store sweeps its arena
+// directly and the sharded store walks its shard runs.
+func coverageRange(st Store, seedMark []bool, from, to int) int64 {
+	var cov int64
+	st.ForEachSet(from, to, func(_ int, set []uint32) {
+		for _, v := range set {
+			if seedMark[v] {
+				cov++
+				break
+			}
+		}
+	})
+	return cov
+}
+
+// coverageRangeSeeds is the union walk behind CoverageRangeSeeds on both
+// stores: count the distinct ids in [from, to) across the seeds' postings,
+// deduplicated through the store-owned epoch-stamped marks.
+func coverageRangeSeeds(st Store, m *epoch.Marks, seeds []uint32, from, to int) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > st.Len() {
+		to = st.Len()
+	}
+	if from >= to || len(seeds) == 0 {
+		return 0
+	}
+	m.Reset(to)
+	var cov int64
+	for _, v := range seeds {
+		it := st.PostingsRange(v, from, to)
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, id := range run {
+				if m.Visit(id) {
+					cov++
+				}
+			}
+		}
+	}
+	return cov
+}
 
 // CoverageRangeSeeds counts how many RR sets with ids in [from, to) contain
 // at least one of the seeds — the same quantity as CoverageRange over a
@@ -19,32 +73,7 @@ package ris
 // each other or with Generate (the same discipline Generate itself
 // requires; concurrent Postings/Set reads remain safe).
 func (c *Collection) CoverageRangeSeeds(seeds []uint32, from, to int) int64 {
-	if from < 0 {
-		from = 0
-	}
-	if to > c.Len() {
-		to = c.Len()
-	}
-	if from >= to || len(seeds) == 0 {
-		return 0
-	}
-	c.covMark.Reset(to)
-	var cov int64
-	for _, v := range seeds {
-		it := c.PostingsRange(v, from, to)
-		for {
-			run, ok := it.Next()
-			if !ok {
-				break
-			}
-			for _, id := range run {
-				if c.covMark.Visit(id) {
-					cov++
-				}
-			}
-		}
-	}
-	return cov
+	return coverageRangeSeeds(c, &c.covMark, seeds, from, to)
 }
 
 // CoverageSeeds counts Cov_R(S) over the whole stream via the index.

@@ -1,0 +1,314 @@
+package ris
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+
+	"stopandstare/internal/epoch"
+)
+
+// ShardedCollection is the id-sharded RR-set store: the global stream of RR
+// sets is partitioned across N shards, each owning its own arena + CSR
+// index (a segment). Every Generate call splits its contiguous global id
+// range [from, to) into N contiguous sub-ranges — one per shard, mirroring
+// how the flat store's CSR blocks each own a disjoint id range — and the
+// shards generate their sub-ranges in parallel, each with its own worker
+// pool and per-set re-seeded rng.Source streams.
+//
+// Because RR set i is always produced by the PRNG stream (seed, i)
+// (SeedStream), the sharded store holds exactly the sample stream the flat
+// Collection would: Set(i), Width, Items, every coverage count, and
+// therefore every algorithm result (Seeds, Coverage, checkpoint traces) are
+// bit-identical for any shard count and any worker count. That equivalence
+// is what makes sharding safe to grow into a NUMA- or machine-distributed
+// serving layer: the algorithms cannot observe the topology.
+//
+// Postings and coverage queries are answered by per-shard walks of the
+// epoch-aligned CSR blocks, merged at the shard boundary: each shard's
+// blocks store global ids (ascending within the shard), and the Postings
+// iterator simply walks the shards in turn. Consumers of the Store
+// interface are order-insensitive across runs (see Store), so no k-way
+// merge is needed on the hot path.
+type ShardedCollection struct {
+	sampler      *Sampler
+	seed         uint64
+	shardWorkers int
+
+	segs   []*segment
+	epochs []genEpoch
+	length int
+
+	covMark epoch.Marks // visited ids for CoverageRangeSeeds, grows to Len()
+}
+
+// genEpoch records how one Generate call's global id range [from, to) was
+// split across shards: shard s owns global ids [bounds[s], bounds[s+1]),
+// which start at local set index base[s] within its segment. The table is
+// what makes Set(i) O(log epochs): binary-search the epoch, compute the
+// shard by the even-split formula, then index the segment directly.
+type genEpoch struct {
+	from, to int
+	bounds   []int // len = shards+1, ascending, bounds[0]=from, bounds[S]=to
+	base     []int // len = shards; local index of bounds[s] in segs[s]
+}
+
+// NewShardedCollection creates an empty sharded store with the given shard
+// count (≥ 1) and per-shard generation workers (≤ 0 selects
+// max(1, GOMAXPROCS/shards), keeping the total worker budget close to the
+// flat default).
+func NewShardedCollection(s *Sampler, seed uint64, shards, shardWorkers int) *ShardedCollection {
+	if shards < 1 {
+		shards = 1
+	}
+	if shardWorkers <= 0 {
+		shardWorkers = runtime.GOMAXPROCS(0) / shards
+		if shardWorkers < 1 {
+			shardWorkers = 1
+		}
+	}
+	sc := &ShardedCollection{
+		sampler:      s,
+		seed:         seed,
+		shardWorkers: shardWorkers,
+		segs:         make([]*segment, shards),
+	}
+	n := s.g.NumNodes()
+	for i := range sc.segs {
+		sc.segs[i] = newSegment(n)
+		sc.segs[i].gids = []int32{} // non-nil: local indices map through gids
+	}
+	return sc
+}
+
+// Sampler returns the store's sampler.
+func (sc *ShardedCollection) Sampler() *Sampler { return sc.sampler }
+
+// Shards returns the number of shards.
+func (sc *ShardedCollection) Shards() int { return len(sc.segs) }
+
+// Len returns the number of RR sets generated so far.
+func (sc *ShardedCollection) Len() int { return sc.length }
+
+// Items returns the total number of node entries across all RR sets.
+func (sc *ShardedCollection) Items() int64 {
+	var items int64
+	for _, sg := range sc.segs {
+		items += int64(len(sg.buf))
+	}
+	return items
+}
+
+// Width returns Σ_j w(R_j) over all RR sets.
+func (sc *ShardedCollection) Width() int64 {
+	var w int64
+	for _, sg := range sc.segs {
+		w += sg.width
+	}
+	return w
+}
+
+// NumNodes returns the node count of the underlying graph.
+func (sc *ShardedCollection) NumNodes() int { return sc.sampler.g.NumNodes() }
+
+// Scale returns the sampler scale (n or Γ).
+func (sc *ShardedCollection) Scale() float64 { return sc.sampler.scale }
+
+// Bytes reports the memory held across all shards plus the epoch table.
+func (sc *ShardedCollection) Bytes() int64 {
+	b := int64(sc.covMark.Cap()) * 4
+	for _, sg := range sc.segs {
+		b += sg.bytes()
+	}
+	for i := range sc.epochs {
+		e := &sc.epochs[i]
+		b += int64(cap(e.bounds))*8 + int64(cap(e.base))*8
+	}
+	b += int64(cap(sc.epochs)) * 64
+	return b
+}
+
+// epochIndex returns the index of the epoch containing global id i — the
+// first epoch with to > i. Shared by locate and ForEachSet so the epoch
+// bisection exists once.
+func (sc *ShardedCollection) epochIndex(i int) int {
+	lo, hi := 0, len(sc.epochs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sc.epochs[mid].to <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// locate resolves a global set id to (segment, local index): O(log epochs)
+// plus an O(1) shard-formula step. Hot bulk scans avoid it via ForEachSet;
+// the solvers' covered-set walks pay it once per covered id, which is noise
+// next to touching the set's members but is short-circuited entirely for
+// the degenerate single-shard store (global id == local index there).
+func (sc *ShardedCollection) locate(i int) (*segment, int) {
+	if len(sc.segs) == 1 {
+		return sc.segs[0], i
+	}
+	e := &sc.epochs[sc.epochIndex(i)]
+	// Even-split inverse: bounds[s] = from + s·count/S (floored), so the
+	// shard index is s ≈ off·S/count, corrected by at most one step.
+	S := len(sc.segs)
+	count := e.to - e.from
+	s := int(int64(i-e.from) * int64(S) / int64(count))
+	if s > S-1 {
+		s = S - 1
+	}
+	for e.bounds[s] > i {
+		s--
+	}
+	for e.bounds[s+1] <= i {
+		s++
+	}
+	return sc.segs[s], e.base[s] + (i - e.bounds[s])
+}
+
+// Set returns RR set i. Identical content to the flat store's Set(i); the
+// lookup costs a binary search over generate-epochs, so bulk scans should
+// use ForEachSet instead.
+func (sc *ShardedCollection) Set(i int) []uint32 {
+	sg, local := sc.locate(i)
+	return sg.setAt(local)
+}
+
+// ForEachSet calls fn for every RR set with id in [from, to), in ascending
+// id order, walking each epoch's shard sub-ranges directly so the per-id
+// shard lookup of Set is paid once per contiguous run instead of per set.
+func (sc *ShardedCollection) ForEachSet(from, to int, fn func(i int, set []uint32)) {
+	if from < 0 {
+		from = 0
+	}
+	if to > sc.length {
+		to = sc.length
+	}
+	if from >= to {
+		return
+	}
+	for ei := sc.epochIndex(from); ei < len(sc.epochs) && sc.epochs[ei].from < to; ei++ {
+		e := &sc.epochs[ei]
+		for s := range sc.segs {
+			glo, ghi := e.bounds[s], e.bounds[s+1]
+			if glo < from {
+				glo = from
+			}
+			if ghi > to {
+				ghi = to
+			}
+			if glo >= ghi {
+				continue
+			}
+			sg := sc.segs[s]
+			local := e.base[s] + (glo - e.bounds[s])
+			for g := glo; g < ghi; g++ {
+				fn(g, sg.setAt(local))
+				local++
+			}
+		}
+	}
+}
+
+// GenerateTo grows the store until it holds at least target RR sets.
+func (sc *ShardedCollection) GenerateTo(target int) {
+	if extra := target - sc.length; extra > 0 {
+		sc.Generate(extra)
+	}
+}
+
+// Generate appends count new RR sets: the global id range [Len, Len+count)
+// is split into one contiguous sub-range per shard (balanced by SET COUNT
+// via the even-split formula — RR-set sizes are skewed, so shard item loads
+// can differ; balancing by items is impossible before sampling) and the
+// shards sample their sub-ranges concurrently,
+// each appending to its own arena and CSR index. Output is bit-identical
+// to the flat store for any shard/worker count, because set content depends
+// only on the global id.
+func (sc *ShardedCollection) Generate(count int) {
+	if count <= 0 {
+		return
+	}
+	from := sc.length
+	S := len(sc.segs)
+	e := genEpoch{
+		from:   from,
+		to:     from + count,
+		bounds: make([]int, S+1),
+		base:   make([]int, S),
+	}
+	for s := 0; s <= S; s++ {
+		e.bounds[s] = from + int(int64(count)*int64(s)/int64(S))
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		e.base[s] = sc.segs[s].nsets()
+		glo, ghi := e.bounds[s], e.bounds[s+1]
+		if ghi <= glo {
+			continue
+		}
+		wg.Add(1)
+		go func(sg *segment, glo, ghi int) {
+			defer wg.Done()
+			lfrom := sg.nsets()
+			sg.appendResults(sampleChunks(sc.sampler, sc.seed, glo, ghi, sc.shardWorkers))
+			sg.gids = slices.Grow(sg.gids, ghi-glo)
+			for g := glo; g < ghi; g++ {
+				sg.gids = append(sg.gids, int32(g))
+			}
+			sg.appendIndexBlock(lfrom, sg.nsets(), sc.shardWorkers)
+		}(sc.segs[s], glo, ghi)
+	}
+	wg.Wait()
+	sc.epochs = append(sc.epochs, e)
+	sc.length = from + count
+}
+
+// PostingsUpto returns an iterator over the ids < upto of RR sets
+// containing v, walking each shard's blocks in turn. No allocation.
+func (sc *ShardedCollection) PostingsUpto(v uint32, upto int) Postings {
+	return sc.PostingsRange(v, 0, upto)
+}
+
+// PostingsRange returns an iterator over the ids in [from, upto) of RR
+// sets containing v. Runs are ascending and disjoint; runs from different
+// shards interleave in global id (see Store). No allocation.
+func (sc *ShardedCollection) PostingsRange(v uint32, from, upto int) Postings {
+	if from < 0 {
+		from = 0
+	}
+	if upto > sc.length {
+		upto = sc.length
+	}
+	return Postings{more: sc.segs, v: v, from: from, upto: upto}
+}
+
+// CoverageRange counts how many RR sets with ids in [from, to) contain at
+// least one marked node — the arena-scan oracle, identical to the flat
+// store's count.
+func (sc *ShardedCollection) CoverageRange(seedMark []bool, from, to int) int64 {
+	return coverageRange(sc, seedMark, from, to)
+}
+
+// Coverage counts Cov_R(S) over the whole stream for a seed mark vector.
+func (sc *ShardedCollection) Coverage(seedMark []bool) int64 {
+	return sc.CoverageRange(seedMark, 0, sc.length)
+}
+
+// CoverageRangeSeeds counts the sets in [from, to) containing at least one
+// seed via per-shard postings walks merged through the shared epoch-stamped
+// mark set. Same scratch-reuse discipline as the flat store: calls must not
+// race each other or Generate.
+func (sc *ShardedCollection) CoverageRangeSeeds(seeds []uint32, from, to int) int64 {
+	return coverageRangeSeeds(sc, &sc.covMark, seeds, from, to)
+}
+
+// CoverageSeeds counts Cov_R(S) over the whole stream via the index.
+func (sc *ShardedCollection) CoverageSeeds(seeds []uint32) int64 {
+	return sc.CoverageRangeSeeds(seeds, 0, sc.length)
+}

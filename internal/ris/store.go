@@ -1,0 +1,116 @@
+package ris
+
+import "runtime"
+
+// Store is the RR-set store surface that SSA, D-SSA, IMM, TIM/TIM+, the
+// max-coverage solvers and the TVM sweeps actually consume. The paper's
+// optimality arguments (Thms 3–5) are agnostic to where RR sets live — only
+// Len, coverage and the doubling schedule matter — so the algorithms are
+// written against this interface and any implementation that honours the
+// contract below slots in unchanged.
+//
+// Contract (what makes implementations interchangeable bit-for-bit):
+//
+//   - RR set i is always the output of the PRNG stream (Seed, i), so
+//     Set(i), Items, Width and every coverage count are identical across
+//     implementations, worker counts and shard counts.
+//   - The stream is append-only: Generate never moves or mutates an
+//     existing set (D-SSA's prefix-stability requirement).
+//   - PostingsRange yields each matching id exactly once, in ascending
+//     runs; cross-run global ordering is implementation-defined (the flat
+//     Collection is globally ascending, ShardedCollection is ascending per
+//     shard). Consumers must therefore be order-insensitive across runs —
+//     the greedy solvers and the epoch-stamped coverage walks are.
+//   - Stores are not safe for concurrent mutation; Generate and the
+//     scratch-reusing coverage walks must not race each other (concurrent
+//     Set/Postings reads remain safe).
+//
+// The differential harness (differential_test.go) enforces the
+// interchangeability: SSA, D-SSA and the TVM budget sweep must return
+// bit-identical Seeds, Coverage and checkpoint traces on every
+// implementation for any shard/worker count.
+type Store interface {
+	// Sampler returns the sampler the store draws RR sets from.
+	Sampler() *Sampler
+	// Len returns the number of RR sets generated so far.
+	Len() int
+	// Items returns the total number of node entries across all RR sets.
+	Items() int64
+	// Width returns Σ_j w(R_j) over all RR sets (TIM's KPT input).
+	Width() int64
+	// Bytes approximates the resident memory of the store.
+	Bytes() int64
+	// NumNodes returns the node count of the underlying graph.
+	NumNodes() int
+	// Scale returns the estimator scale (n for RIS, Γ for WRIS).
+	Scale() float64
+	// Set returns RR set i; the slice must not be modified and is
+	// invalidated (never mutated in place) by the next Generate.
+	Set(i int) []uint32
+	// ForEachSet calls fn for every RR set with id in [from, to), in
+	// ascending id order — the bulk-scan primitive solvers use to fold new
+	// stream suffixes into gain counts without per-id lookup cost.
+	ForEachSet(from, to int, fn func(i int, set []uint32))
+	// Generate appends count new RR sets to the stream.
+	Generate(count int)
+	// GenerateTo grows the stream to at least target RR sets.
+	GenerateTo(target int)
+	// PostingsUpto iterates the ids < upto of RR sets containing v.
+	PostingsUpto(v uint32, upto int) Postings
+	// PostingsRange iterates the ids in [from, upto) of RR sets containing v.
+	PostingsRange(v uint32, from, upto int) Postings
+	// CoverageRange counts sets in [from, to) hitting the seed mark vector
+	// (the arena-scan oracle).
+	CoverageRange(seedMark []bool, from, to int) int64
+	// Coverage counts Cov_R(S) over the whole stream for a mark vector.
+	Coverage(seedMark []bool) int64
+	// CoverageRangeSeeds counts sets in [from, to) containing at least one
+	// seed, via the inverted index (the hot-path form).
+	CoverageRangeSeeds(seeds []uint32, from, to int) int64
+	// CoverageSeeds counts Cov_R(S) over the whole stream via the index.
+	CoverageSeeds(seeds []uint32) int64
+}
+
+// Both stores implement Store.
+var (
+	_ Store = (*Collection)(nil)
+	_ Store = (*ShardedCollection)(nil)
+)
+
+// StoreOptions selects and sizes a Store implementation.
+type StoreOptions struct {
+	// Workers bounds generation/index parallelism of the flat store (and
+	// is the total-worker hint ShardWorkers is derived from); ≤0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Shards ≥ 1 selects ShardedCollection with that many id shards (1 is
+	// a real single-shard sharded store, so the sharded code path can be
+	// exercised and compared at every count); ≤0 selects the flat
+	// Collection. Results are bit-identical either way.
+	Shards int
+	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1;
+	// ≤0 derives max(1, Workers/Shards) so the total worker budget holds.
+	ShardWorkers int
+}
+
+// NewStore builds the Store described by opt: the flat Collection for
+// Shards ≤ 0, ShardedCollection otherwise. Every implementation yields
+// bit-identical results for a fixed seed, so the choice is purely about
+// memory topology and generation parallelism.
+func NewStore(s *Sampler, seed uint64, opt StoreOptions) Store {
+	if opt.Shards < 1 {
+		return NewCollection(s, seed, opt.Workers)
+	}
+	w := opt.ShardWorkers
+	if w <= 0 {
+		total := opt.Workers
+		if total <= 0 {
+			total = runtime.GOMAXPROCS(0)
+		}
+		w = total / opt.Shards
+		if w < 1 {
+			w = 1
+		}
+	}
+	return NewShardedCollection(s, seed, opt.Shards, w)
+}

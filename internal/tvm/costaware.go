@@ -27,6 +27,11 @@ type BudgetedOptions struct {
 	// Workers bounds sampling parallelism; ≤0 selects
 	// runtime.GOMAXPROCS(0) (results are worker-count-independent).
 	Workers int
+	// Shards ≥ 1 stores the WRIS samples in an id-sharded store
+	// (bit-identical results for any shard count); ShardWorkers bounds
+	// per-shard parallelism (≤0 derives Workers/Shards).
+	Shards       int
+	ShardWorkers int
 	// Samples optionally fixes the number of WRIS samples; 0 derives an
 	// Eq. 14-style threshold from the instance (see BudgetedMaximize).
 	Samples int
@@ -164,7 +169,9 @@ func BudgetedSweep(t *Instance, model diffusion.Model, budgets []float64, opt Bu
 		return nil, err
 	}
 
-	col := ris.NewCollection(s, opt.Seed, opt.Workers)
+	col := ris.NewStore(s, opt.Seed, ris.StoreOptions{
+		Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+	})
 	col.Generate(samples)
 	sol := maxcover.NewBudgetedSolver(col, opt.Costs)
 	out := make([]*BudgetedResult, len(budgets))

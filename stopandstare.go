@@ -100,6 +100,15 @@ type Options struct {
 	// Workers bounds parallelism (≤0 ⇒ runtime.GOMAXPROCS(0); results are
 	// bit-identical at any worker count).
 	Workers int
+	// Shards ≥ 1 keeps RR sets in an id-sharded store (one arena + index
+	// per shard, generated shard-parallel) instead of the flat store; ≤0
+	// selects flat. Results are bit-identical at any shard count —
+	// sharding only changes memory topology and generation parallelism.
+	// Applies to the RIS algorithms (SSA/D-SSA/IMM/TIM/TIM+/Borgs).
+	Shards int
+	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1
+	// (≤0 derives max(1, Workers/Shards)).
+	ShardWorkers int
 	// MCRuns is the Monte-Carlo budget for CELF/CELF++ spread estimates
 	// (0 ⇒ 10,000, the paper's setting).
 	MCRuns int
@@ -167,6 +176,7 @@ func Maximize(g *Graph, model Model, algo Algorithm, opt Options) (*Result, erro
 		}
 		copt := core.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
 			Seed: opt.Seed, Workers: opt.Workers,
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
 			Eps1: opt.Eps1, Eps2: opt.Eps2, Eps3: opt.Eps3,
 			Trace: opt.OnCheckpoint}
 		var res *core.Result
@@ -187,7 +197,8 @@ func Maximize(g *Graph, model Model, algo Algorithm, opt Options) (*Result, erro
 			return nil, err
 		}
 		bopt := baselines.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
-			Seed: opt.Seed, Workers: opt.Workers}
+			Seed: opt.Seed, Workers: opt.Workers,
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers}
 		var res *baselines.Result
 		switch algo {
 		case IMM:
@@ -210,7 +221,8 @@ func Maximize(g *Graph, model Model, algo Algorithm, opt Options) (*Result, erro
 		}
 		res, err := baselines.Borgs(s, baselines.BorgsOptions{
 			Options: baselines.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
-				Seed: opt.Seed, Workers: opt.Workers},
+				Seed: opt.Seed, Workers: opt.Workers,
+				Shards: opt.Shards, ShardWorkers: opt.ShardWorkers},
 			C: opt.BorgsC,
 		})
 		if err != nil {

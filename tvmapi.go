@@ -47,7 +47,8 @@ func MaximizeTargeted(g *Graph, model Model, weights []float64, algo Algorithm, 
 	switch algo {
 	case DSSA, SSA:
 		copt := core.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
-			Seed: opt.Seed, Workers: opt.Workers}
+			Seed: opt.Seed, Workers: opt.Workers,
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers}
 		var res *core.Result
 		if algo == DSSA {
 			res, err = tvm.DSSA(inst, model, copt)
@@ -61,7 +62,8 @@ func MaximizeTargeted(g *Graph, model Model, weights []float64, algo Algorithm, 
 			Gamma: inst.Gamma, Samples: res.TotalSamples, Elapsed: res.Elapsed}, nil
 	case TIMPlus:
 		res, err := tvm.KBTIM(inst, model, baselines.Options{K: opt.K,
-			Epsilon: opt.Epsilon, Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers})
+			Epsilon: opt.Epsilon, Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers})
 		if err != nil {
 			return nil, err
 		}
@@ -85,6 +87,9 @@ type BudgetedOptions struct {
 	Delta   float64
 	Seed    uint64
 	Workers int
+	// Shards/ShardWorkers select the id-sharded RR store, as in Options.
+	Shards       int
+	ShardWorkers int
 }
 
 // BudgetedTVMResult reports a cost-aware targeted run.
@@ -111,6 +116,7 @@ func MaximizeBudgeted(g *Graph, model Model, weights []float64, opt BudgetedOpti
 	res, err := tvm.BudgetedMaximize(inst, model, tvm.BudgetedOptions{
 		Budget: opt.Budget, Costs: opt.Costs, Epsilon: opt.Epsilon,
 		Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
+		Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -135,6 +141,7 @@ func MaximizeBudgetedSweep(g *Graph, model Model, weights []float64, budgets []f
 	sweep, err := tvm.BudgetedSweep(inst, model, budgets, tvm.BudgetedOptions{
 		Costs: opt.Costs, Epsilon: opt.Epsilon,
 		Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
+		Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
 	})
 	if err != nil {
 		return nil, err
