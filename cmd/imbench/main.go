@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"stopandstare/internal/bench"
+	"stopandstare/internal/ris"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel workers")
 		shards   = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store; results identical)")
 		shardW   = flag.Int("shard-workers", 0, "per-shard workers (0 = workers/shards)")
+		kernel   = flag.String("kernel", "plan", "RR sampling kernel: plan (compiled) or oracle (Bernoulli reference)")
 		scaleMul = flag.Float64("scale", 1.0, "multiplier on default dataset scales")
 		mcRuns   = flag.Int("mc", 0, "MC runs for scoring seed sets (0 = default)")
 		kList    = flag.String("k", "", "override k sweep, comma-separated")
@@ -55,9 +57,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "imbench: need -exp (or -list)")
 		os.Exit(1)
 	}
+	krn, err := ris.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbench: %v\n", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
-		Shards: *shards, ShardWorkers: *shardW,
+		Shards: *shards, ShardWorkers: *shardW, Kernel: krn,
 		ScaleMul: *scaleMul, MCRuns: *mcRuns, Quick: *quick,
 		IncludeCELF: *celf,
 	}

@@ -52,6 +52,15 @@ func record(name string, r testing.BenchmarkResult) PerfRecord {
 // RunPerfSuite measures the RIS hot paths on a synthetic power-law graph.
 // Every pair below keeps the old implementation alive as the baseline, so
 // the report shows the delta, not just the new number.
+//
+// The generate/plan vs generate/oracle pairs compare the compiled sampling
+// kernels (PR 4) against the Bernoulli/binary-search oracle, single-worker
+// so the ratio is pure kernel cost. The primary pair runs on a high-degree
+// weighted-cascade preset (epinions-scale node count at orkut-like average
+// in-degree ≈ 40) — the regime the paper's Table 2 networks live in, where
+// geometric skipping collapses d_in draws per node to ~2; the _lowdeg pair
+// shows the same kernels on the sparser base graph, and the _lt pair
+// compares the alias walk against the binary-search walk.
 func RunPerfSuite(seed uint64) (*PerfReport, error) {
 	g, err := gen.ChungLu(20000, 120000, 2.1, seed+9, graph.BuildOptions{Model: graph.WeightedCascade})
 	if err != nil {
@@ -61,7 +70,22 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// High-degree WC preset: geometric skipping bites when d_in is large
+	// (expected live in-edges per node is 1 regardless of degree).
+	hi, err := gen.ChungLu(25000, 1000000, 2.1, seed+11, graph.BuildOptions{Model: graph.WeightedCascade})
+	if err != nil {
+		return nil, err
+	}
+	sHi, err := ris.NewSampler(hi, diffusion.IC)
+	if err != nil {
+		return nil, err
+	}
+	sHiLT, err := ris.NewSampler(hi, diffusion.LT)
+	if err != nil {
+		return nil, err
+	}
 	const streamLen = 20000
+	const hiStreamLen = 2000
 	col := ris.NewCollection(s, seed+1, 0)
 	col.Generate(streamLen)
 
@@ -121,6 +145,26 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			c.Generate(streamLen)
 		}
 	})
+	// Kernel pairs: plan vs oracle, 1 worker, identical workloads.
+	genKernel := func(name string, smp *ris.Sampler, k ris.Kernel, n int) {
+		add(name, func(b *testing.B) {
+			b.ReportAllocs()
+			sk := smp.WithKernel(k)
+			for i := 0; i < b.N; i++ {
+				c := ris.NewCollection(sk, uint64(i)+seed+200, 1)
+				c.Generate(n)
+			}
+		})
+	}
+	// The acceptance pair: the high-degree WC preset.
+	genKernel("generate/oracle", sHi, ris.KernelOracle, hiStreamLen)
+	genKernel("generate/plan", sHi, ris.KernelPlan, hiStreamLen)
+	// Same kernels on the sparser base graph.
+	genKernel("generate/oracle_lowdeg", s, ris.KernelOracle, streamLen)
+	genKernel("generate/plan_lowdeg", s, ris.KernelPlan, streamLen)
+	// Alias walk vs binary-search walk under LT on the high-degree preset.
+	genKernel("generate/oracle_lt", sHiLT, ris.KernelOracle, hiStreamLen)
+	genKernel("generate/plan_lt", sHiLT, ris.KernelPlan, hiStreamLen)
 	add("coverage_range/scan", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

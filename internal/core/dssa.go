@@ -22,6 +22,7 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 	if err := opt.normalize(s); err != nil {
 		return nil, err
 	}
+	s = s.WithKernel(opt.Kernel)
 	nmax, tmaxIter := opt.thresholds(s)
 	eps, delta := opt.Epsilon, opt.Delta
 	c := stats.OneMinusInvE

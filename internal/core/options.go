@@ -41,6 +41,11 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Results are bit-identical at any worker
 	// count, so the default costs nothing in reproducibility.
 	Workers int
+	// Kernel selects the RR sampling implementation: the compiled plan
+	// kernels (default) or the Bernoulli oracle (ris.KernelOracle). The two
+	// draw from the same distribution but consume different PRNG sequences,
+	// so results are deterministic per kernel, not across kernels.
+	Kernel ris.Kernel
 	// Shards ≥ 1 stores RR sets in an id-sharded store
 	// (ris.ShardedCollection) generated shard-parallel; ≤0 selects the
 	// flat ris.Collection. Results are bit-identical at any shard count —

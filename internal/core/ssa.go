@@ -24,6 +24,7 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 	if err := opt.normalize(s); err != nil {
 		return nil, err
 	}
+	s = s.WithKernel(opt.Kernel)
 	e1, e2, e3, err := opt.epsSplit()
 	if err != nil {
 		return nil, err

@@ -42,5 +42,10 @@ func (m *Marks) Visit(id int32) bool {
 	return true
 }
 
+// Contains reports whether id has been visited in the current generation,
+// without marking it — for walks that must test membership before deciding
+// (via a coin flip, say) whether the id joins the set.
+func (m *Marks) Contains(id int32) bool { return m.marks[id] == m.gen }
+
 // Cap returns the backing array's capacity (for memory accounting).
 func (m *Marks) Cap() int { return cap(m.marks) }

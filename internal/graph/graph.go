@@ -70,6 +70,17 @@ func (g *Graph) InNeighbors(v uint32) ([]uint32, []float32) {
 // Under the LT model this must be ≤ 1 (§2.1).
 func (g *Graph) InWeightSum(v uint32) float64 { return g.inSum[v] }
 
+// ReverseCSR exposes the reverse-adjacency arrays directly: idx has length
+// n+1 and node v's in-edges are adj[idx[v]:idx[v+1]] (sources) with weights
+// w[idx[v]:idx[v+1]]. This is the plan-facing accessor the compiled sampling
+// kernels (internal/ris.Plan) are built on: a plan compiler sweeps the whole
+// reverse CSR once without n accessor calls, and the fused kernels walk adj
+// in place instead of re-slicing through InNeighbors per node. The returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) ReverseCSR() (idx []int64, adj []uint32, w []float32) {
+	return g.inIdx, g.inAdj, g.inW
+}
+
 // SampleLTInNeighbor maps a uniform draw u01 ∈ [0,1) to the LT reverse-walk
 // step at node v: with probability InWeightSum(v) it returns an in-neighbour
 // chosen proportionally to its edge weight, otherwise ok=false (the walk

@@ -36,6 +36,27 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateKernels compares the compiled plan kernels against the
+// Bernoulli/binary-search oracle on identical single-worker workloads, per
+// model — the per-PR perf suite (imbench -perf) runs the same pair on a
+// high-degree preset where the win is larger.
+func BenchmarkGenerateKernels(b *testing.B) {
+	g := benchGraph(b)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		for _, kernel := range []Kernel{KernelPlan, KernelOracle} {
+			b.Run(model.String()+"/"+kernel.String(), func(b *testing.B) {
+				s := mustSampler(b, g, model).WithKernel(kernel)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					col := NewCollection(s, uint64(i)+1, 1)
+					col.Generate(20000)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkGenerateSharded measures cold generation into the id-sharded
 // store at 1, 2 and 4 shards with the same total worker budget as
 // BenchmarkGenerate (4): shards=1 is the flat-vs-sharded overhead check

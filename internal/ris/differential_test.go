@@ -68,13 +68,13 @@ func assertResultsIdentical(t *testing.T, ctx string, ref, got *core.Result, ref
 }
 
 // runCore executes SSA or D-SSA with a trace recorder and the given store
-// topology, on a fixed (seed, k, epsilon) workload.
-func runCore(t *testing.T, s *ris.Sampler, algo string, shards, workers int) (*core.Result, []core.Checkpoint) {
+// topology and sampling kernel, on a fixed (seed, k, epsilon) workload.
+func runCore(t *testing.T, s *ris.Sampler, algo string, shards, workers int, kernel ris.Kernel) (*core.Result, []core.Checkpoint) {
 	t.Helper()
 	var trace []core.Checkpoint
 	opt := core.Options{
 		K: 8, Epsilon: 0.3, Seed: 71, Workers: 2,
-		Shards: shards, ShardWorkers: workers,
+		Shards: shards, ShardWorkers: workers, Kernel: kernel,
 		Trace: func(cp core.Checkpoint) { trace = append(trace, cp) },
 	}
 	var res *core.Result
@@ -104,21 +104,28 @@ func TestDifferentialDSSAFlatVsSharded(t *testing.T) {
 	differentialCore(t, "dssa")
 }
 
+// differentialCore runs the grid under BOTH sampling kernels: the compiled
+// plan kernels (the default since PR 4) and the Bernoulli oracle. The flat
+// vs sharded bit-identity must hold per kernel — kernels consume different
+// PRNG sequences, so cross-kernel traces legitimately differ, but within a
+// kernel no store topology may leak into results.
 func differentialCore(t *testing.T, algo string) {
 	g := diffGraph(t)
 	s, err := ris.NewSampler(g, diffusion.IC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	refRes, refTrace := runCore(t, s, algo, 0, 0) // flat, default workers
-	// The flat store must itself be worker-count independent.
-	res1, trace1 := runCore(t, s, algo, 0, 0)
-	assertResultsIdentical(t, algo+"/flat-repeat", refRes, res1, refTrace, trace1)
-	for _, shards := range diffShardCounts {
-		for _, workers := range diffWorkerCounts {
-			ctx := fmt.Sprintf("%s/shards=%d/shardWorkers=%d", algo, shards, workers)
-			res, trace := runCore(t, s, algo, shards, workers)
-			assertResultsIdentical(t, ctx, refRes, res, refTrace, trace)
+	for _, kernel := range []ris.Kernel{ris.KernelPlan, ris.KernelOracle} {
+		refRes, refTrace := runCore(t, s, algo, 0, 0, kernel) // flat, default workers
+		// The flat store must itself be worker-count independent.
+		res1, trace1 := runCore(t, s, algo, 0, 0, kernel)
+		assertResultsIdentical(t, fmt.Sprintf("%s/%v/flat-repeat", algo, kernel), refRes, res1, refTrace, trace1)
+		for _, shards := range diffShardCounts {
+			for _, workers := range diffWorkerCounts {
+				ctx := fmt.Sprintf("%s/%v/shards=%d/shardWorkers=%d", algo, kernel, shards, workers)
+				res, trace := runCore(t, s, algo, shards, workers, kernel)
+				assertResultsIdentical(t, ctx, refRes, res, refTrace, trace)
+			}
 		}
 	}
 }
@@ -142,30 +149,32 @@ func TestDifferentialBudgetedSweepFlatVsSharded(t *testing.T) {
 		costs[v] = float64((v*7)%4) + 1
 	}
 	budgets := []float64{3, 9, 27, 81}
-	run := func(shards, workers int) []*tvm.BudgetedResult {
+	run := func(shards, workers int, kernel ris.Kernel) []*tvm.BudgetedResult {
 		res, err := tvm.BudgetedSweep(inst, diffusion.LT, budgets, tvm.BudgetedOptions{
 			Costs: costs, Epsilon: 0.2, Seed: 13, Workers: 2,
-			Samples: 3000, Shards: shards, ShardWorkers: workers,
+			Samples: 3000, Shards: shards, ShardWorkers: workers, Kernel: kernel,
 		})
 		if err != nil {
 			t.Fatalf("sweep shards=%d workers=%d: %v", shards, workers, err)
 		}
 		return res
 	}
-	ref := run(0, 0)
-	for _, shards := range diffShardCounts {
-		for _, workers := range diffWorkerCounts {
-			got := run(shards, workers)
-			for i := range ref {
-				ctx := fmt.Sprintf("sweep/shards=%d/workers=%d/budget=%v", shards, workers, budgets[i])
-				if !slices.Equal(ref[i].Seeds, got[i].Seeds) {
-					t.Fatalf("%s: Seeds %v vs %v", ctx, got[i].Seeds, ref[i].Seeds)
-				}
-				if got[i].Benefit != ref[i].Benefit || got[i].Cost != ref[i].Cost ||
-					got[i].Samples != ref[i].Samples {
-					t.Fatalf("%s: benefit/cost/samples %v/%v/%d vs %v/%v/%d", ctx,
-						got[i].Benefit, got[i].Cost, got[i].Samples,
-						ref[i].Benefit, ref[i].Cost, ref[i].Samples)
+	for _, kernel := range []ris.Kernel{ris.KernelPlan, ris.KernelOracle} {
+		ref := run(0, 0, kernel)
+		for _, shards := range diffShardCounts {
+			for _, workers := range diffWorkerCounts {
+				got := run(shards, workers, kernel)
+				for i := range ref {
+					ctx := fmt.Sprintf("sweep/%v/shards=%d/workers=%d/budget=%v", kernel, shards, workers, budgets[i])
+					if !slices.Equal(ref[i].Seeds, got[i].Seeds) {
+						t.Fatalf("%s: Seeds %v vs %v", ctx, got[i].Seeds, ref[i].Seeds)
+					}
+					if got[i].Benefit != ref[i].Benefit || got[i].Cost != ref[i].Cost ||
+						got[i].Samples != ref[i].Samples {
+						t.Fatalf("%s: benefit/cost/samples %v/%v/%d vs %v/%v/%d", ctx,
+							got[i].Benefit, got[i].Cost, got[i].Samples,
+							ref[i].Benefit, ref[i].Cost, ref[i].Samples)
+					}
 				}
 			}
 		}

@@ -7,8 +7,11 @@ package ris
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"stopandstare/internal/diffusion"
+	"stopandstare/internal/epoch"
 	"stopandstare/internal/graph"
 	"stopandstare/internal/rng"
 )
@@ -18,22 +21,41 @@ import (
 // a weighted sampler implements WRIS, where the root is chosen
 // proportionally to each node's benefit b(v) and estimates scale by
 // Γ = Σ_v b(v) instead of n (Lemma 1 and its weighted analogue).
+//
+// Two sampling kernels produce the RR sets (see Kernel): the compiled plan
+// (default) and the Bernoulli/binary-search oracle. Both draw from the same
+// distribution — proven by the statistical harness in plan_test.go — but
+// consume different PRNG sequences, so switching kernels changes individual
+// sets while preserving every determinism invariant: RR set i is a pure
+// function of (kernel, seed, i) for any worker, shard, or store topology.
 type Sampler struct {
-	g     *graph.Graph
-	model diffusion.Model
-	root  *rng.Alias // nil ⇒ uniform root
-	scale float64    // n for RIS, Γ for WRIS
+	g      *graph.Graph
+	model  diffusion.Model
+	root   *rng.Alias // nil ⇒ uniform root
+	scale  float64    // n for RIS, Γ for WRIS
+	pc     *planCache // lazily compiled, shared across WithKernel copies
+	kernel Kernel
+}
+
+// planCache holds the lazily compiled plan so that oracle-only samplers
+// never pay the O(n + m) compilation (or, for LT, the alias-table memory),
+// while all WithKernel copies of a sampler share one compilation.
+type planCache struct {
+	once sync.Once
+	plan atomic.Pointer[Plan]
 }
 
 // ErrNilGraph reports a missing graph.
 var ErrNilGraph = errors.New("ris: nil graph")
 
-// NewSampler returns a uniform-root (classic RIS) sampler.
+// NewSampler returns a uniform-root (classic RIS) sampler using the default
+// plan kernels. Use WithKernel to select the oracle.
 func NewSampler(g *graph.Graph, model diffusion.Model) (*Sampler, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	return &Sampler{g: g, model: model, scale: float64(g.NumNodes())}, nil
+	return &Sampler{g: g, model: model, scale: float64(g.NumNodes()),
+		pc: &planCache{}}, nil
 }
 
 // NewWeightedSampler returns a WRIS sampler whose roots are drawn
@@ -49,7 +71,42 @@ func NewWeightedSampler(g *graph.Graph, model diffusion.Model, weights []float64
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{g: g, model: model, root: al, scale: al.Total()}, nil
+	return &Sampler{g: g, model: model, root: al, scale: al.Total(),
+		pc: &planCache{}}, nil
+}
+
+// WithKernel returns a sampler drawing through the given kernel. The
+// receiver is unchanged; the copy shares the graph and the compiled plan,
+// so switching kernels is free and safe even while the original is in use.
+func (s *Sampler) WithKernel(k Kernel) *Sampler {
+	if s.kernel == k {
+		return s
+	}
+	c := *s
+	c.kernel = k
+	return &c
+}
+
+// Kernel returns the sampling kernel in effect.
+func (s *Sampler) Kernel() Kernel { return s.kernel }
+
+// Plan returns the compiled sampling plan, compiling it on first use
+// (shared and immutable afterwards; safe for concurrent callers).
+func (s *Sampler) Plan() *Plan {
+	if p := s.pc.plan.Load(); p != nil {
+		return p
+	}
+	s.pc.once.Do(func() { s.pc.plan.Store(NewPlan(s.g, s.model)) })
+	return s.pc.plan.Load()
+}
+
+// PlanBytes reports the compiled plan's memory, 0 if it was never compiled
+// (oracle-only samplers). Non-forcing, for memory accounting.
+func (s *Sampler) PlanBytes() int64 {
+	if p := s.pc.plan.Load(); p != nil {
+		return p.Bytes()
+	}
+	return 0
 }
 
 // Graph returns the underlying graph.
@@ -65,26 +122,19 @@ func (s *Sampler) Scale() float64 { return s.scale }
 // Weighted reports whether this is a WRIS sampler.
 func (s *Sampler) Weighted() bool { return s.root != nil }
 
-// State is the per-goroutine scratch for RR-set generation.
+// State is the per-goroutine scratch for RR-set generation: the visited set
+// is the shared epoch-stamped epoch.Marks, so clearing between samples is a
+// generation bump, not an O(n) sweep.
 type State struct {
-	mark  []uint32
-	epoch uint32
-	queue []uint32
+	marks epoch.Marks
+	n     int
 }
 
 // NewState allocates sampling scratch for the sampler's graph.
 func (s *Sampler) NewState() *State {
-	return &State{mark: make([]uint32, s.g.NumNodes())}
-}
-
-func (st *State) nextEpoch() {
-	st.epoch++
-	if st.epoch == 0 {
-		for i := range st.mark {
-			st.mark[i] = 0
-		}
-		st.epoch = 1
-	}
+	st := &State{n: s.g.NumNodes()}
+	st.marks.Reset(st.n) // size the backing array once, up front
+	return st
 }
 
 // AppendSample generates one RR set using r and appends its nodes to buf.
@@ -93,18 +143,31 @@ func (st *State) nextEpoch() {
 // needs). The set occupies buf[len(buf)-setLen:]. For the LT model the
 // nodes appear in reverse-walk order (root first), which tests rely on.
 func (s *Sampler) AppendSample(r *rng.Source, st *State, buf []uint32) (newBuf []uint32, setLen int, width int64) {
-	g := s.g
 	var root uint32
 	if s.root != nil {
 		root = uint32(s.root.Sample(r))
 	} else {
-		root = uint32(r.Intn(g.NumNodes()))
+		root = uint32(r.Intn(s.g.NumNodes()))
 	}
-	st.nextEpoch()
+	st.marks.Reset(st.n)
 	start := len(buf)
-	st.mark[root] = st.epoch
+	st.marks.Visit(int32(root))
 	buf = append(buf, root)
-	width = int64(g.InDegree(root))
+	if s.kernel == KernelPlan {
+		buf, width = s.Plan().appendSample(r, st, buf, start, root)
+	} else {
+		buf, width = s.appendOracle(r, st, buf, start, root)
+	}
+	return buf, len(buf) - start, width
+}
+
+// appendOracle is the direct-translation sampling kernel: one float
+// Bernoulli draw per IC edge examined, one binary search per LT step. It is
+// the distribution oracle the plan kernels are validated against
+// (plan_test.go) and stays selectable through KernelOracle.
+func (s *Sampler) appendOracle(r *rng.Source, st *State, buf []uint32, start int, root uint32) ([]uint32, int64) {
+	g := s.g
+	width := int64(g.InDegree(root))
 	if s.model == diffusion.IC {
 		// Reverse BFS: edge (u,x) is live with probability w(u,x); every
 		// in-edge of a member is examined exactly once.
@@ -112,11 +175,11 @@ func (s *Sampler) AppendSample(r *rng.Source, st *State, buf []uint32) (newBuf [
 			x := buf[head]
 			adj, ws := g.InNeighbors(x)
 			for i, u := range adj {
-				if st.mark[u] == st.epoch {
+				if st.marks.Contains(int32(u)) {
 					continue
 				}
 				if r.Float64() < float64(ws[i]) {
-					st.mark[u] = st.epoch
+					st.marks.Visit(int32(u))
 					buf = append(buf, u)
 					width += int64(g.InDegree(u))
 				}
@@ -128,16 +191,15 @@ func (s *Sampler) AppendSample(r *rng.Source, st *State, buf []uint32) (newBuf [
 		x := root
 		for {
 			u, ok := g.SampleLTInNeighbor(x, r.Float64())
-			if !ok || st.mark[u] == st.epoch {
+			if !ok || !st.marks.Visit(int32(u)) {
 				break
 			}
-			st.mark[u] = st.epoch
 			buf = append(buf, u)
 			width += int64(g.InDegree(u))
 			x = u
 		}
 	}
-	return buf, len(buf) - start, width
+	return buf, width
 }
 
 // Sample generates one RR set into a fresh slice (convenience for tests).

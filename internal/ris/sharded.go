@@ -114,9 +114,10 @@ func (sc *ShardedCollection) NumNodes() int { return sc.sampler.g.NumNodes() }
 // Scale returns the sampler scale (n or Γ).
 func (sc *ShardedCollection) Scale() float64 { return sc.sampler.scale }
 
-// Bytes reports the memory held across all shards plus the epoch table.
+// Bytes reports the memory held across all shards plus the epoch table and
+// the sampler's compiled plan if one was built (shared, counted once).
 func (sc *ShardedCollection) Bytes() int64 {
-	b := int64(sc.covMark.Cap()) * 4
+	b := int64(sc.covMark.Cap())*4 + sc.sampler.PlanBytes()
 	for _, sg := range sc.segs {
 		b += sg.bytes()
 	}

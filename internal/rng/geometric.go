@@ -1,0 +1,84 @@
+package rng
+
+import "math"
+
+// This file holds the integer-domain sampling primitives the compiled
+// sampling plans (internal/ris.Plan) are built from:
+//
+//   - Threshold64 + Bernoulli64: a Bernoulli(p) trial as a single uint64
+//     compare, with the float conversion paid once at plan-compile time
+//     instead of once per edge examined;
+//   - LogQ + Geometric: inverse-CDF geometric sampling, so a run of
+//     identical-probability Bernoulli trials (every node of a weighted-
+//     cascade graph) is skipped to its next success in one draw instead of
+//     one draw per trial.
+
+// Threshold64 maps a probability p ∈ [0,1] to the threshold thr such that
+// Uint64() < thr holds with probability thr/2^64 ≈ p. The approximation
+// error is below 2^-64 — far under the noise floor of any sampling
+// experiment — except at p = 1, which saturates to an always-true compare
+// via Bernoulli64's contract (thr = MaxUint64 is treated as certainty; see
+// Bernoulli64). p outside [0,1] clamps.
+func Threshold64(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	// Exact: scaling by 2^64 only shifts the exponent, and p < 1 keeps the
+	// product strictly below 2^64, so the uint64 conversion cannot overflow.
+	return uint64(math.Ldexp(p, 64))
+}
+
+// Bernoulli64 returns true with probability thr/2^64, by a single 64-bit
+// compare. thr = MaxUint64 (the saturation value Threshold64 assigns to
+// p = 1) is treated as certainty, so p ∈ {0, 1} are exact: 0 never fires,
+// 1 always fires.
+func (r *Source) Bernoulli64(thr uint64) bool {
+	return r.Uint64() < thr || thr == math.MaxUint64
+}
+
+// LogQ returns ln(1−p), the Geometric parameterisation of a success
+// probability p — computed once per plan entry so the per-draw work is one
+// log and one divide. p ≥ 1 yields −Inf (Geometric returns 0: success is
+// immediate) and p ≤ 0 yields 0 (Geometric returns MaxSkip: success never
+// comes).
+func LogQ(p float64) float64 {
+	if p >= 1 {
+		return math.Inf(-1)
+	}
+	if p <= 0 {
+		return 0
+	}
+	return math.Log1p(-p)
+}
+
+// MaxSkip is Geometric's saturation value: returned when the success
+// probability is 0 (lnq = 0) or when the sampled skip would exceed it.
+// It is large enough that any consumer bounding the skip by a slice length
+// terminates, and small enough that `i += 1 + skip` cannot overflow int64.
+const MaxSkip = int64(1) << 62
+
+// Geometric samples the number of failures before the first success of a
+// Bernoulli(p) sequence — Geom(p) on {0, 1, 2, …} — using exactly one
+// uniform draw, with lnq = LogQ(p) precomputed:
+//
+//	X = floor(ln U / ln(1−p)),  U uniform on (0,1]
+//
+// which satisfies P(X ≥ k) = (1−p)^k exactly. Edge cases: p = 1 (lnq = −Inf)
+// always returns 0; p = 0 (lnq = 0) returns MaxSkip; results are never
+// negative and the draw never loops.
+func (r *Source) Geometric(lnq float64) int64 {
+	if lnq == 0 {
+		return MaxSkip
+	}
+	// U ∈ [2^-53, 1]: the +1 keeps log away from -Inf, and U = 1 lands on
+	// skip 0 (log 1 = 0), preserving P(X=0) = p.
+	u := float64(r.Uint64()>>11+1) * (1.0 / (1 << 53))
+	f := math.Log(u) / lnq
+	if f >= float64(MaxSkip) {
+		return MaxSkip
+	}
+	return int64(f)
+}

@@ -1,0 +1,188 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// chiSquare returns Σ (obs−exp)²/exp over the buckets.
+func chiSquare(obs []int, exp []float64) float64 {
+	var x2 float64
+	for i := range obs {
+		d := float64(obs[i]) - exp[i]
+		x2 += d * d / exp[i]
+	}
+	return x2
+}
+
+// TestGeometricDistribution checks Geometric(LogQ(p)) against the closed
+// form P(X=k) = (1−p)^k·p by chi-square, for success probabilities across
+// three orders of magnitude. Buckets 0..K−1 are exact, the K'th pools the
+// tail P(X≥K) = (1−p)^K. Seeds are fixed, so the test is deterministic; the
+// critical values are the χ² 1−10⁻⁶ quantiles rounded up, far above any
+// correct implementation's statistic.
+func TestGeometricDistribution(t *testing.T) {
+	const N = 400000
+	for _, tc := range []struct {
+		p    float64
+		K    int // exact buckets before the pooled tail
+		crit float64
+	}{
+		{0.75, 8, 55},   // χ²(8): 1-1e-6 quantile ≈ 43
+		{0.5, 14, 65},   // χ²(14) ≈ 52
+		{0.1, 30, 90},   // χ²(30) ≈ 75
+		{0.01, 40, 105}, // χ²(40) ≈ 89
+	} {
+		lnq := LogQ(tc.p)
+		r := New(0xC0FFEE ^ math.Float64bits(tc.p))
+		obs := make([]int, tc.K+1)
+		for i := 0; i < N; i++ {
+			k := r.Geometric(lnq)
+			if k < 0 {
+				t.Fatalf("p=%v: negative skip %d", tc.p, k)
+			}
+			if k >= int64(tc.K) {
+				obs[tc.K]++
+			} else {
+				obs[k]++
+			}
+		}
+		exp := make([]float64, tc.K+1)
+		q := 1 - tc.p
+		for k := 0; k < tc.K; k++ {
+			exp[k] = N * math.Pow(q, float64(k)) * tc.p
+		}
+		exp[tc.K] = N * math.Pow(q, float64(tc.K))
+		if x2 := chiSquare(obs, exp); x2 > tc.crit {
+			t.Fatalf("p=%v: chi-square %.1f exceeds critical %.0f (obs %v)", tc.p, x2, tc.crit, obs)
+		}
+	}
+}
+
+// TestGeometricEdgeCases pins the boundary behaviour the plan kernels rely
+// on: p = 1 always returns 0, p = 0 returns the MaxSkip sentinel, and a
+// vanishing p = 1e-12 neither hangs, goes negative, nor overflows the
+// `i += 1 + skip` pattern.
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		if k := r.Geometric(LogQ(1)); k != 0 {
+			t.Fatalf("p=1: skip %d, want 0", k)
+		}
+		if k := r.Geometric(LogQ(0)); k != MaxSkip {
+			t.Fatalf("p=0: skip %d, want MaxSkip", k)
+		}
+		k := r.Geometric(LogQ(1e-12))
+		if k < 0 || k > MaxSkip {
+			t.Fatalf("p=1e-12: skip %d out of [0, MaxSkip]", k)
+		}
+		if k+1 < k { // the kernel's stride must not overflow
+			t.Fatalf("p=1e-12: skip %d overflows +1", k)
+		}
+	}
+	// p above 1 and below 0 clamp to the certain/impossible cases.
+	if LogQ(1.5) != math.Inf(-1) || LogQ(-0.5) != 0 {
+		t.Fatal("LogQ does not clamp out-of-range p")
+	}
+}
+
+// TestThreshold64Bernoulli checks that the integer-threshold trial fires at
+// the same frequency as the float oracle Float64() < p, within binomial
+// noise, and that the endpoints are exact.
+func TestThreshold64Bernoulli(t *testing.T) {
+	const N = 400000
+	for _, p := range []float64{1e-12, 0.001, 0.1, 0.25, 0.5, 0.9, 0.999} {
+		thr := Threshold64(p)
+		ri := New(31337 ^ math.Float64bits(p))
+		rf := New(777 ^ math.Float64bits(p))
+		var ci, cf int
+		for i := 0; i < N; i++ {
+			if ri.Bernoulli64(thr) {
+				ci++
+			}
+			if rf.Float64() < p {
+				cf++
+			}
+		}
+		se := math.Sqrt(N * p * (1 - p))
+		if d := math.Abs(float64(ci) - N*p); d > 6*se+1 {
+			t.Fatalf("p=%v: threshold count %d deviates %.1f (> 6se=%.1f) from N·p", p, ci, d, 6*se)
+		}
+		// The two implementations must agree with each other too (two-sample
+		// binomial: sd of the difference is √2·se).
+		if d := math.Abs(float64(ci - cf)); d > 6*math.Sqrt2*se+2 {
+			t.Fatalf("p=%v: threshold %d vs float oracle %d differ by %.0f", p, ci, cf, d)
+		}
+	}
+	// Endpoints: p=0 never fires, p=1 always fires — exactly.
+	r := New(5)
+	t0, t1 := Threshold64(0), Threshold64(1)
+	for i := 0; i < 100000; i++ {
+		if r.Bernoulli64(t0) {
+			t.Fatal("p=0 fired")
+		}
+		if !r.Bernoulli64(t1) {
+			t.Fatal("p=1 did not fire")
+		}
+	}
+}
+
+// TestThreshold64Values pins exact threshold arithmetic at representable
+// points.
+func TestThreshold64Values(t *testing.T) {
+	if Threshold64(0.5) != 1<<63 {
+		t.Fatalf("Threshold64(0.5) = %x", Threshold64(0.5))
+	}
+	if Threshold64(0.25) != 1<<62 {
+		t.Fatalf("Threshold64(0.25) = %x", Threshold64(0.25))
+	}
+	if Threshold64(0) != 0 || Threshold64(-1) != 0 {
+		t.Fatal("p <= 0 must map to 0")
+	}
+	if Threshold64(1) != math.MaxUint64 || Threshold64(2) != math.MaxUint64 {
+		t.Fatal("p >= 1 must saturate")
+	}
+	// Monotone in p.
+	prev := uint64(0)
+	for _, p := range []float64{0, 1e-15, 1e-9, 0.1, 0.5, 0.9, 1 - 1e-12, 1} {
+		thr := Threshold64(p)
+		if thr < prev {
+			t.Fatalf("Threshold64 not monotone at p=%v", p)
+		}
+		prev = thr
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	r := New(1)
+	lnq := LogQ(1.0 / 40)
+	var acc int64
+	for i := 0; i < b.N; i++ {
+		acc += r.Geometric(lnq)
+	}
+	_ = acc
+}
+
+func BenchmarkBernoulli64(b *testing.B) {
+	r := New(1)
+	thr := Threshold64(1.0 / 40)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		if r.Bernoulli64(thr) {
+			acc++
+		}
+	}
+	_ = acc
+}
+
+func BenchmarkFloatBernoulli(b *testing.B) {
+	r := New(1)
+	p := 1.0 / 40
+	var acc int
+	for i := 0; i < b.N; i++ {
+		if r.Float64() < p {
+			acc++
+		}
+	}
+	_ = acc
+}

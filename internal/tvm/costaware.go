@@ -32,6 +32,9 @@ type BudgetedOptions struct {
 	// per-shard parallelism (≤0 derives Workers/Shards).
 	Shards       int
 	ShardWorkers int
+	// Kernel selects the RR sampling implementation (plan kernels by
+	// default, ris.KernelOracle for the Bernoulli oracle).
+	Kernel ris.Kernel
 	// Samples optionally fixes the number of WRIS samples; 0 derives an
 	// Eq. 14-style threshold from the instance (see BudgetedMaximize).
 	Samples int
@@ -168,6 +171,7 @@ func BudgetedSweep(t *Instance, model diffusion.Model, budgets []float64, opt Bu
 	if err != nil {
 		return nil, err
 	}
+	s = s.WithKernel(opt.Kernel)
 
 	col := ris.NewStore(s, opt.Seed, ris.StoreOptions{
 		Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,

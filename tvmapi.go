@@ -48,7 +48,8 @@ func MaximizeTargeted(g *Graph, model Model, weights []float64, algo Algorithm, 
 	case DSSA, SSA:
 		copt := core.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
 			Seed: opt.Seed, Workers: opt.Workers,
-			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers}
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+			Kernel: opt.Kernel}
 		var res *core.Result
 		if algo == DSSA {
 			res, err = tvm.DSSA(inst, model, copt)
@@ -63,7 +64,7 @@ func MaximizeTargeted(g *Graph, model Model, weights []float64, algo Algorithm, 
 	case TIMPlus:
 		res, err := tvm.KBTIM(inst, model, baselines.Options{K: opt.K,
 			Epsilon: opt.Epsilon, Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
-			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers})
+			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers, Kernel: opt.Kernel})
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +91,8 @@ type BudgetedOptions struct {
 	// Shards/ShardWorkers select the id-sharded RR store, as in Options.
 	Shards       int
 	ShardWorkers int
+	// Kernel selects the RR sampling implementation, as in Options.
+	Kernel Kernel
 }
 
 // BudgetedTVMResult reports a cost-aware targeted run.
@@ -117,6 +120,7 @@ func MaximizeBudgeted(g *Graph, model Model, weights []float64, opt BudgetedOpti
 		Budget: opt.Budget, Costs: opt.Costs, Epsilon: opt.Epsilon,
 		Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
 		Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+		Kernel: opt.Kernel,
 	})
 	if err != nil {
 		return nil, err
@@ -142,6 +146,7 @@ func MaximizeBudgetedSweep(g *Graph, model Model, weights []float64, budgets []f
 		Costs: opt.Costs, Epsilon: opt.Epsilon,
 		Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
 		Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+		Kernel: opt.Kernel,
 	})
 	if err != nil {
 		return nil, err
