@@ -3,12 +3,13 @@
 // executes the registered harness experiment in Quick mode (reduced dataset
 // scale and k sweep) so `go test -bench=. -benchmem` regenerates every
 // artifact's shape in minutes; `cmd/imbench` runs the full-scale versions.
-package stopandstare
+package stopandstare_test
 
 import (
 	"io"
 	"testing"
 
+	"stopandstare"
 	"stopandstare/internal/bench"
 )
 
@@ -82,14 +83,14 @@ func BenchmarkAblationFixedTheta(b *testing.B) { runExperiment(b, "ablation-thet
 // BenchmarkMaximizeDSSA measures the end-to-end public API on a mid-size
 // power-law network (the paper's core operation).
 func BenchmarkMaximizeDSSA(b *testing.B) {
-	g, err := GeneratePowerLaw(20000, 120000, 2.1, 1)
+	g, err := stopandstare.GeneratePowerLaw(20000, 120000, 2.1, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Maximize(g, LT, DSSA, Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
+		if _, err := stopandstare.Maximize(g, stopandstare.LT, stopandstare.DSSA, stopandstare.Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,14 +98,14 @@ func BenchmarkMaximizeDSSA(b *testing.B) {
 
 // BenchmarkMaximizeSSA measures SSA on the same instance for comparison.
 func BenchmarkMaximizeSSA(b *testing.B) {
-	g, err := GeneratePowerLaw(20000, 120000, 2.1, 1)
+	g, err := stopandstare.GeneratePowerLaw(20000, 120000, 2.1, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Maximize(g, LT, SSA, Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
+		if _, err := stopandstare.Maximize(g, stopandstare.LT, stopandstare.SSA, stopandstare.Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,14 +113,14 @@ func BenchmarkMaximizeSSA(b *testing.B) {
 
 // BenchmarkMaximizeIMM measures the IMM baseline on the same instance.
 func BenchmarkMaximizeIMM(b *testing.B) {
-	g, err := GeneratePowerLaw(20000, 120000, 2.1, 1)
+	g, err := stopandstare.GeneratePowerLaw(20000, 120000, 2.1, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Maximize(g, LT, IMM, Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
+		if _, err := stopandstare.Maximize(g, stopandstare.LT, stopandstare.IMM, stopandstare.Options{K: 50, Epsilon: 0.1, Seed: uint64(i), Workers: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,232 @@
+// Command imserve exposes a serving Session over JSON/HTTP: one process
+// holds the graph, the compiled sampling plan, the growing RR-set store and
+// the per-k solver cache, and answers a stream of influence-maximization
+// queries — repeated or refined queries reuse every RR sample generated so
+// far, so warm queries cost selection, not sampling.
+//
+//	imserve -graph nethept.ssg -model IC -addr :8377
+//	imserve -preset nethept -scale 0.5 -model LT
+//
+//	curl -s localhost:8377/maximize -d '{"k":50,"epsilon":0.1}'
+//	curl -s localhost:8377/maximize -d '{"k":50,"algorithm":"ssa"}'
+//	curl -s localhost:8377/stats
+//
+// Endpoints:
+//
+//	POST /maximize  {"k":50,"epsilon":0.1,"delta":0,"algorithm":"dssa"}
+//	GET  /stats     session + graph snapshot (plan/store bytes reported separately)
+//	GET  /healthz   liveness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"stopandstare"
+)
+
+// maxRequestBytes bounds a /maximize request body: queries are a handful
+// of scalar fields, so anything past 1 MiB is garbage or abuse.
+const maxRequestBytes = 1 << 20
+
+// maximizeRequest is the POST /maximize body.
+type maximizeRequest struct {
+	K         int     `json:"k"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"` // "dssa" (default) or "ssa"
+}
+
+// maximizeResponse mirrors stopandstare.Result plus serving metadata.
+type maximizeResponse struct {
+	Seeds       []uint32 `json:"seeds"`
+	Influence   float64  `json:"influence"`
+	Samples     int64    `json:"samples"`
+	Iterations  int      `json:"iterations"`
+	HitCap      bool     `json:"hit_cap,omitempty"`
+	MemoryBytes int64    `json:"memory_bytes"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+	// Warm reports whether this query was served without growing the RR
+	// store (pure selection over already-resident samples) — accurate per
+	// query even under concurrent traffic.
+	Warm bool `json:"warm"`
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Nodes      int     `json:"nodes"`
+	Edges      int64   `json:"edges"`
+	Model      string  `json:"model"`
+	Queries    int64   `json:"queries"`
+	Samples    int     `json:"samples"`
+	Items      int64   `json:"items"`
+	StoreBytes int64   `json:"store_bytes"`
+	PlanBytes  int64   `json:"plan_bytes"`
+	Solvers    int     `json:"solvers"`
+	UptimeSec  float64 `json:"uptime_sec"`
+}
+
+// server wires one Session into an http.Handler. Split from main so tests
+// drive it through httptest without flags or sockets.
+type server struct {
+	g     *stopandstare.Graph
+	model stopandstare.Model
+	sess  *stopandstare.Session
+	start time.Time
+}
+
+func newServer(g *stopandstare.Graph, model stopandstare.Model, sess *stopandstare.Session) *server {
+	return &server{g: g, model: model, sess: sess, start: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/maximize", s.handleMaximize)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleMaximize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req maximizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	algo := stopandstare.DSSA
+	if req.Algorithm != "" {
+		a, err := stopandstare.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		algo = a
+	}
+	res, err := s.sess.Maximize(stopandstare.Query{
+		Algorithm: algo, K: req.K, Epsilon: req.Epsilon, Delta: req.Delta,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, maximizeResponse{
+		Seeds:       res.Seeds,
+		Influence:   res.InfluenceEstimate,
+		Samples:     res.Samples,
+		Iterations:  res.Iterations,
+		HitCap:      res.HitCap,
+		MemoryBytes: res.MemoryBytes,
+		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1e3,
+		Warm:        res.Warm,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	st := s.sess.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Nodes:      s.g.NumNodes(),
+		Edges:      s.g.NumEdges(),
+		Model:      fmt.Sprint(s.model),
+		Queries:    st.Queries,
+		Samples:    st.Samples,
+		Items:      st.Items,
+		StoreBytes: st.StoreBytes,
+		PlanBytes:  st.PlanBytes,
+		Solvers:    st.Solvers,
+		UptimeSec:  time.Since(s.start).Seconds(),
+	})
+}
+
+func main() {
+	var (
+		path    = flag.String("graph", "", "binary graph file (or use -preset)")
+		preset  = flag.String("preset", "", "synthetic preset graph (see imgen)")
+		scale   = flag.Float64("scale", 1.0, "preset scale multiplier")
+		model   = flag.String("model", "IC", "propagation model: IC or LT")
+		seed    = flag.Uint64("seed", 1, "session RR-stream seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "sampling workers")
+		shards  = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store)")
+		kernel  = flag.String("kernel", "plan", "RR sampling kernel: plan or oracle")
+		addr    = flag.String("addr", ":8377", "listen address")
+	)
+	flag.Parse()
+	var (
+		g   *stopandstare.Graph
+		err error
+	)
+	switch {
+	case *path != "":
+		g, err = stopandstare.LoadGraphBinaryFile(*path)
+	case *preset != "":
+		g, err = stopandstare.GeneratePreset(*preset, *scale, *seed)
+	default:
+		err = fmt.Errorf("need -graph or -preset")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
+		os.Exit(1)
+	}
+	mdl, err := stopandstare.ParseModel(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
+		os.Exit(1)
+	}
+	krn, err := stopandstare.ParseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
+		os.Exit(1)
+	}
+	sess, err := stopandstare.NewSession(g, mdl, stopandstare.SessionOptions{
+		Seed: *seed, Workers: *workers, Shards: *shards, Kernel: krn,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
+		os.Exit(1)
+	}
+	srv := newServer(g, mdl, sess)
+	log.Printf("imserve: %d nodes / %d edges, %v model, listening on %s",
+		g.NumNodes(), g.NumEdges(), mdl, *addr)
+	// Header/idle timeouts guard the long-running process against slow-
+	// header and idle-connection exhaustion. No WriteTimeout: a cold query
+	// on a large graph legitimately samples for a long time.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
+		os.Exit(1)
+	}
+}

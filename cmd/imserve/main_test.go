@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stopandstare"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	g, err := stopandstare.GeneratePowerLaw(600, 3000, 2.1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := stopandstare.NewSession(g, stopandstare.IC, stopandstare.SessionOptions{Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(g, stopandstare.IC, sess)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postMaximize(t *testing.T, ts *httptest.Server, body string) maximizeResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /maximize %q: status %d", body, resp.StatusCode)
+	}
+	var out maximizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeMaximizeWarmReuse drives the server through a cold query, an
+// identical warm query, and a refined (larger-k) query, checking the warm
+// flag flips and the identical query returns identical seeds.
+func TestServeMaximizeWarmReuse(t *testing.T) {
+	_, ts := testServer(t)
+
+	cold := postMaximize(t, ts, `{"k":8,"epsilon":0.3}`)
+	if len(cold.Seeds) != 8 {
+		t.Fatalf("cold: got %d seeds, want 8", len(cold.Seeds))
+	}
+	if cold.Warm {
+		t.Fatal("first query reported warm")
+	}
+
+	warm := postMaximize(t, ts, `{"k":8,"epsilon":0.3}`)
+	if !warm.Warm {
+		t.Fatal("repeated query did not report warm")
+	}
+	if len(warm.Seeds) != len(cold.Seeds) {
+		t.Fatalf("warm seeds %v != cold seeds %v", warm.Seeds, cold.Seeds)
+	}
+	for i := range warm.Seeds {
+		if warm.Seeds[i] != cold.Seeds[i] {
+			t.Fatalf("warm seeds %v != cold seeds %v", warm.Seeds, cold.Seeds)
+		}
+	}
+	if warm.Samples != cold.Samples || warm.Influence != cold.Influence {
+		t.Fatalf("warm result drifted: samples %d vs %d, influence %v vs %v",
+			warm.Samples, cold.Samples, warm.Influence, cold.Influence)
+	}
+
+	// A refined query (larger k) reuses the stream; SSA shares it too.
+	bigger := postMaximize(t, ts, `{"k":12,"epsilon":0.3}`)
+	if len(bigger.Seeds) != 12 {
+		t.Fatalf("refined: got %d seeds, want 12", len(bigger.Seeds))
+	}
+	ssa := postMaximize(t, ts, `{"k":8,"epsilon":0.3,"algorithm":"ssa"}`)
+	if len(ssa.Seeds) != 8 {
+		t.Fatalf("ssa: got %d seeds, want 8", len(ssa.Seeds))
+	}
+}
+
+// TestServeStats checks the stats endpoint reports the session snapshot
+// with plan and store bytes separated.
+func TestServeStats(t *testing.T) {
+	_, ts := testServer(t)
+	postMaximize(t, ts, `{"k":5,"epsilon":0.3}`)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 600 || st.Queries != 1 {
+		t.Fatalf("stats: nodes=%d queries=%d", st.Nodes, st.Queries)
+	}
+	if st.Samples <= 0 || st.StoreBytes <= 0 {
+		t.Fatalf("stats: samples=%d store_bytes=%d", st.Samples, st.StoreBytes)
+	}
+	if st.PlanBytes <= 0 {
+		t.Fatalf("stats: plan kernel session should report plan bytes, got %d", st.PlanBytes)
+	}
+	if st.Solvers != 1 {
+		t.Fatalf("stats: solvers=%d, want 1", st.Solvers)
+	}
+}
+
+// TestServeErrors checks malformed requests are rejected with JSON errors.
+func TestServeErrors(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},                         // malformed JSON
+		{`{"k":0}`, http.StatusBadRequest},                   // invalid k
+		{`{"k":5,"algorithm":"imm"}`, http.StatusBadRequest}, // non-session algorithm
+	} {
+		resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/maximize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /maximize: status %d, want 405", resp.StatusCode)
+	}
+}

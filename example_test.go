@@ -3,6 +3,7 @@ package stopandstare_test
 import (
 	"fmt"
 	"log"
+	"slices"
 
 	"stopandstare"
 )
@@ -21,6 +22,46 @@ func Example() {
 	}
 	fmt.Println(len(res.Seeds) == 10)
 	// Output: true
+}
+
+// ExampleSession shows the serving workflow: one long-lived Session per
+// (graph, model) answers a stream of queries, reusing every RR sample
+// generated so far — a repeated or refined query pays selection, not
+// sampling, and returns exactly what a cold Maximize at the same seed
+// would.
+func ExampleSession() {
+	g, err := stopandstare.GeneratePowerLaw(2000, 10000, 2.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := stopandstare.NewSession(g, stopandstare.IC,
+		stopandstare.SessionOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := sess.Maximize(stopandstare.Query{K: 10, Epsilon: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The repeated query is warm: zero sampling, identical result.
+	warm, err := sess.Maximize(stopandstare.Query{K: 10, Epsilon: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A refined query (larger k, SSA instead of D-SSA) shares the stream.
+	refined, err := sess.Maximize(stopandstare.Query{
+		Algorithm: stopandstare.SSA, K: 25, Epsilon: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sess.Stats()
+	fmt.Println(slices.Equal(warm.Seeds, cold.Seeds), warm.Samples == cold.Samples)
+	fmt.Println(cold.Warm, warm.Warm)
+	fmt.Println(len(refined.Seeds), st.Queries, st.Solvers, st.PlanBytes > 0)
+	// Output:
+	// true true
+	// false true
+	// 25 3 2 true
 }
 
 // ExampleMaximize_baselineComparison runs the same instance through the

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 	"testing"
 	"time"
 
+	"stopandstare"
 	"stopandstare/internal/diffusion"
 	"stopandstare/internal/gen"
 	"stopandstare/internal/graph"
@@ -191,6 +193,75 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			sol := maxcover.NewBudgetedSolver(col, costs)
 			for _, bud := range budgets {
 				sol.Solve(col.Len(), bud)
+			}
+		}
+	})
+
+	// Serving-session trio: the cost of one D-SSA query served cold (fresh
+	// session: new store, resampled stream) vs warm (long-lived session:
+	// the repeated query tops up nothing and pays selection only) vs warm
+	// with a new k (zero sampling, but the new k's solver folds the
+	// resident stream into fresh gain counts). The warm records are the
+	// PR 5 claim; the suite first proves the warm result bit-identical to
+	// the cold one before timing anything.
+	sessOpt := stopandstare.SessionOptions{Seed: seed + 300}
+	sessQuery := stopandstare.Query{K: 50, Epsilon: 0.1}
+	coldCheck, err := func() (*stopandstare.Result, error) {
+		sess, err := stopandstare.NewSession(g, diffusion.IC, sessOpt)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Maximize(sessQuery)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	warmSess, err := stopandstare.NewSession(g, diffusion.IC, sessOpt)
+	if err != nil {
+		return nil, err
+	}
+	warmCheck, err := warmSess.Maximize(sessQuery) // warm-up + identity probe
+	if err != nil {
+		return nil, err
+	}
+	if warm2, err := warmSess.Maximize(sessQuery); err != nil {
+		return nil, err
+	} else if !slices.Equal(warm2.Seeds, coldCheck.Seeds) ||
+		!slices.Equal(warmCheck.Seeds, coldCheck.Seeds) ||
+		warm2.Samples != coldCheck.Samples {
+		return nil, fmt.Errorf("bench: warm session drifted from cold run: %v/%d vs %v/%d",
+			warm2.Seeds, warm2.Samples, coldCheck.Seeds, coldCheck.Samples)
+	}
+	add("session/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := stopandstare.NewSession(g, diffusion.IC, sessOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("session/warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := warmSess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("session/warm_newk", func(b *testing.B) {
+		b.ReportAllocs()
+		// Alternate two fresh k values so every op pays the new-k cost
+		// (each query rewinds the other k's solver to a smaller prefix).
+		ks := [2]int{40, 60}
+		for i := 0; i < b.N; i++ {
+			q := sessQuery
+			q.K = ks[i%2]
+			if _, err := warmSess.Maximize(q); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

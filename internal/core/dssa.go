@@ -17,12 +17,31 @@ import (
 // stated limitation). The precision split ε₁,ε₂,ε₃ is computed *from the
 // data* at every checkpoint (lines 11–13), which is how D-SSA attains the
 // type-2 minimum threshold (Theorem 6) without parameter tuning.
+//
+// DSSA is the one-shot entry point: a fresh store and solver per run. A
+// query stream over one graph should run DSSAWith against a long-lived
+// environment (stopandstare.Session), which extends the same no-sample-
+// discarded principle ACROSS runs: the store only tops up past its current
+// size and results stay bit-identical to a cold run at the same seed.
 func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
-	start := time.Now()
 	if err := opt.normalize(s); err != nil {
 		return nil, err
 	}
 	s = s.WithKernel(opt.Kernel)
+	return DSSAWith(opt, newSoloExec(opt.newStore(s)))
+}
+
+// DSSAWith runs D-SSA inside the given execution environment. The store's
+// sampler is used as-is (opt.Kernel is not re-applied). Every size the loop
+// consumes — prefix, holdout window, reported sample counts — comes from
+// the deterministic doubling schedule, never from Store.Len(), so a warm
+// store yields bit-identical results.
+func DSSAWith(opt Options, env Exec) (*Result, error) {
+	start := time.Now()
+	s := env.Store().Sampler()
+	if err := opt.normalize(s); err != nil {
+		return nil, err
+	}
 	nmax, tmaxIter := opt.thresholds(s)
 	eps, delta := opt.Epsilon, opt.Delta
 	c := stats.OneMinusInvE
@@ -35,26 +54,26 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 		maxIter = tmaxIter + 8
 	}
 
-	col := opt.newStore(s)
 	scale := s.Scale()
-	// The candidate prefix R_t doubles every iteration, so one incremental
-	// solver scans each RR set exactly once across the whole run.
-	sol := maxcover.NewSolver(col)
 
 	res := &Result{}
 	var mc maxcover.Result
 	halfUnit := ceilPos(lambda)
+	var streamLen int // |R_t ∪ R^c_t| = 2·half, per schedule
 	for t := 1; ; t++ {
 		res.Iterations = t
 		half := boundedShift(halfUnit, t-1) // |R_t| = Λ·2^(t−1)
-		col.GenerateTo(2 * half)            // lines 6–7: R_t ++ R^c_t
+		streamLen = 2 * half
+		res.Grew = env.Ensure(streamLen) || res.Grew // lines 6–7: R_t ++ R^c_t
+		env.Acquire()
 		// Line 8: candidate from the first half.
-		mc = sol.Solve(half, opt.K)
-		iHat := mc.Influence(scale)
+		mc = env.Solve(half, opt.K)
 		// Index-driven verification: Cov over the holdout R^c_t is a union
 		// walk of the candidates' postings in [half, 2·half) — O(Σ seed
 		// postings in the window), not a rescan of the window's RR sets.
-		covC := col.CoverageRangeSeeds(mc.Seeds, half, 2*half)
+		covC := env.Coverage(mc.Seeds, half, streamLen)
+		env.Release()
+		iHat := mc.Influence(scale)
 		passed := false
 		// Line 9: condition D1 — stopping-rule check on the holdout.
 		if float64(covC) >= lambda1 {
@@ -73,7 +92,7 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 			passed = epsT <= eps
 		}
 		if opt.Trace != nil {
-			opt.Trace(Checkpoint{Iteration: t, Samples: int64(col.Len()),
+			opt.Trace(Checkpoint{Iteration: t, Samples: int64(streamLen),
 				Coverage: mc.Coverage, Influence: iHat, Passed: passed,
 				EpsilonT: res.EpsilonT})
 		}
@@ -88,10 +107,12 @@ func DSSA(s *ris.Sampler, opt Options) (*Result, error) {
 	}
 	res.Seeds = mc.Seeds
 	res.Influence = mc.Influence(scale)
-	res.CoverageSamples = int64(col.Len())
+	res.CoverageSamples = int64(streamLen)
 	res.VerifySamples = 0 // the verification half is reused, never discarded
 	res.TotalSamples = res.CoverageSamples
-	res.MemoryBytes = col.Bytes()
+	env.Acquire()
+	res.MemoryBytes = env.Store().Bytes()
+	env.Release()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

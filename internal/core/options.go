@@ -111,6 +111,11 @@ type Result struct {
 	Elapsed time.Duration
 	// MemoryBytes approximates the RR-collection footprint at termination.
 	MemoryBytes int64
+	// Grew reports whether the run generated new RR sets into its store:
+	// always true for one-shot runs, false for a session query answered
+	// entirely from already-resident samples. (SSA's ephemeral Estimate-Inf
+	// samples are not store growth and do not set it.)
+	Grew bool
 }
 
 // growthCap bounds the sample-count doubling schedules: doubling stops

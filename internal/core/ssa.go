@@ -19,12 +19,31 @@ import (
 // (C1) is there enough coverage to trust Î(S*_k) within ε₃, and (C2) does
 // an independent stopping-rule estimate I^c(Ŝ_k) (within ε₂) agree with
 // Î(Ŝ_k) up to (1+ε₁)? Stop at the first checkpoint passing both.
+//
+// SSA is the one-shot entry point: a fresh store and solver per run. A
+// query stream over one graph should run SSAWith against a long-lived
+// environment (stopandstare.Session) instead, which reuses the RR stream —
+// bit-identical results, near-zero sampling cost on warm queries.
 func SSA(s *ris.Sampler, opt Options) (*Result, error) {
-	start := time.Now()
 	if err := opt.normalize(s); err != nil {
 		return nil, err
 	}
 	s = s.WithKernel(opt.Kernel)
+	return SSAWith(opt, newSoloExec(opt.newStore(s)))
+}
+
+// SSAWith runs SSA inside the given execution environment. The store's
+// sampler is used as-is (opt.Kernel is not re-applied — the environment's
+// store is already bound to its kernel). Every size the loop consumes comes
+// from the deterministic doubling schedule, never from Store.Len(), so a
+// pre-grown warm store yields results bit-identical to a cold run at the
+// same seed.
+func SSAWith(opt Options, env Exec) (*Result, error) {
+	start := time.Now()
+	s := env.Store().Sampler()
+	if err := opt.normalize(s); err != nil {
+		return nil, err
+	}
 	e1, e2, e3, err := opt.epsSplit()
 	if err != nil {
 		return nil, err
@@ -41,29 +60,30 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 		maxIter = imax + 8
 	}
 
-	col := opt.newStore(s)
-	col.Generate(ceilPos(lambda)) // line 4
+	// size tracks the schedule |R| = Λ·2^it. The cold store's Len always
+	// equals it; a warm store may hold more, which the loop never observes.
+	size := ceilPos(lambda)
+	res := &Result{Eps1: e1, Eps2: e2, Eps3: e3}
+	res.Grew = env.Ensure(size) // line 4
 	est := newEstimator(s, opt.Seed)
 	scale := s.Scale()
-	// One incremental solver spans all checkpoints: each Solve scans only
-	// the RR sets added since the previous checkpoint, yet returns the
-	// exact maxcover.Greedy solution.
-	sol := maxcover.NewSolver(col)
 
-	res := &Result{Eps1: e1, Eps2: e2, Eps3: e3}
 	var mc maxcover.Result
 	for it := 1; ; it++ {
 		res.Iterations = it
 		// Line 6: double the size of R.
-		col.GenerateTo(boundedDouble(col.Len()))
+		size = boundedDouble(size)
+		res.Grew = env.Ensure(size) || res.Grew
+		env.Acquire()
 		// Line 7: find the candidate solution.
-		mc = sol.Solve(col.Len(), opt.K)
+		mc = env.Solve(size, opt.K)
+		env.Release()
 		iHat := mc.Influence(scale)
 		passed := false
 		// Line 8: condition C1 — enough coverage to bound Î(S*_k).
 		if float64(mc.Coverage) >= lambda1 {
 			// Line 9: Tmax = 2|R|·(1+ε₂)/(1−ε₂)·ε₃²/ε₂².
-			tmax := int64(math.Ceil(2 * float64(col.Len()) * (1 + e2) / (1 - e2) * (e3 * e3) / (e2 * e2)))
+			tmax := int64(math.Ceil(2 * float64(size) * (1 + e2) / (1 - e2) * (e3 * e3) / (e2 * e2)))
 			if tmax < 1 {
 				tmax = 1
 			}
@@ -73,24 +93,26 @@ func SSA(s *ris.Sampler, opt Options) (*Result, error) {
 			passed = ok && iHat <= (1+e1)*ic
 		}
 		if opt.Trace != nil {
-			opt.Trace(Checkpoint{Iteration: it, Samples: int64(col.Len()),
+			opt.Trace(Checkpoint{Iteration: it, Samples: int64(size),
 				Coverage: mc.Coverage, Influence: iHat, Passed: passed})
 		}
 		if passed {
 			break
 		}
 		// Line 13: safety cap.
-		if float64(col.Len()) >= nmax || it >= maxIter {
+		if float64(size) >= nmax || it >= maxIter {
 			res.HitCap = true
 			break
 		}
 	}
 	res.Seeds = mc.Seeds
 	res.Influence = mc.Influence(scale)
-	res.CoverageSamples = int64(col.Len())
+	res.CoverageSamples = int64(size)
 	res.VerifySamples = est.total
 	res.TotalSamples = res.CoverageSamples + res.VerifySamples
-	res.MemoryBytes = col.Bytes()
+	env.Acquire()
+	res.MemoryBytes = env.Store().Bytes()
+	env.Release()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -64,6 +64,15 @@ func coverageRangeSeeds(st Store, m *epoch.Marks, seeds []uint32, from, to int) 
 	return cov
 }
 
+// CoverageRangeSeedsMarks is CoverageRangeSeeds with caller-owned scratch:
+// the union walk dedupes ids through m instead of the store-owned mark set.
+// This is the concurrency-safe form the serving layer uses — any number of
+// read-only queries may walk one store in parallel as long as each brings
+// its own marks (and no Generate runs concurrently).
+func CoverageRangeSeedsMarks(st Store, m *epoch.Marks, seeds []uint32, from, to int) int64 {
+	return coverageRangeSeeds(st, m, seeds, from, to)
+}
+
 // CoverageRangeSeeds counts how many RR sets with ids in [from, to) contain
 // at least one of the seeds — the same quantity as CoverageRange over a
 // seed-mark vector, computed from the inverted index instead of the arena.

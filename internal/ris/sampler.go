@@ -7,8 +7,6 @@ package ris
 
 import (
 	"errors"
-	"sync"
-	"sync/atomic"
 
 	"stopandstare/internal/diffusion"
 	"stopandstare/internal/epoch"
@@ -37,25 +35,20 @@ type Sampler struct {
 	kernel Kernel
 }
 
-// planCache holds the lazily compiled plan so that oracle-only samplers
-// never pay the O(n + m) compilation (or, for LT, the alias-table memory),
-// while all WithKernel copies of a sampler share one compilation.
-type planCache struct {
-	once sync.Once
-	plan atomic.Pointer[Plan]
-}
-
 // ErrNilGraph reports a missing graph.
 var ErrNilGraph = errors.New("ris: nil graph")
 
 // NewSampler returns a uniform-root (classic RIS) sampler using the default
-// plan kernels. Use WithKernel to select the oracle.
+// plan kernels. Use WithKernel to select the oracle. The compiled plan is
+// served from the process-wide registry (see plancache.go): every sampler on
+// the same (graph, model) — across Sessions, one-shot runs, WRIS and plain
+// variants — shares one compilation.
 func NewSampler(g *graph.Graph, model diffusion.Model) (*Sampler, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
 	return &Sampler{g: g, model: model, scale: float64(g.NumNodes()),
-		pc: &planCache{}}, nil
+		pc: sharedPlanCache(g, model)}, nil
 }
 
 // NewWeightedSampler returns a WRIS sampler whose roots are drawn
@@ -72,7 +65,7 @@ func NewWeightedSampler(g *graph.Graph, model diffusion.Model, weights []float64
 		return nil, err
 	}
 	return &Sampler{g: g, model: model, root: al, scale: al.Total(),
-		pc: &planCache{}}, nil
+		pc: sharedPlanCache(g, model)}, nil
 }
 
 // WithKernel returns a sampler drawing through the given kernel. The
@@ -91,12 +84,18 @@ func (s *Sampler) WithKernel(k Kernel) *Sampler {
 func (s *Sampler) Kernel() Kernel { return s.kernel }
 
 // Plan returns the compiled sampling plan, compiling it on first use
-// (shared and immutable afterwards; safe for concurrent callers).
+// (shared and immutable afterwards; safe for concurrent callers). The
+// compilation is shared process-wide per (graph, model) through the plan
+// registry, so no matter how many samplers, stores, or sessions touch the
+// same graph, the O(n + m) compile happens once.
 func (s *Sampler) Plan() *Plan {
 	if p := s.pc.plan.Load(); p != nil {
 		return p
 	}
-	s.pc.once.Do(func() { s.pc.plan.Store(NewPlan(s.g, s.model)) })
+	s.pc.once.Do(func() {
+		s.pc.plan.Store(NewPlan(s.g, s.model))
+		s.pc.compiles.Add(1)
+	})
 	return s.pc.plan.Load()
 }
 

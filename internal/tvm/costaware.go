@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"stopandstare/internal/diffusion"
@@ -133,16 +134,120 @@ func BudgetedMaximize(t *Instance, model diffusion.Model, opt BudgetedOptions) (
 	return res[0], nil
 }
 
+// BudgetedSession is the cost-aware serving object: a long-lived WRIS
+// sample stream plus one incremental ratio-greedy solver, answering a
+// stream of budget queries against one (instance, model). It is the
+// budgeted sibling of stopandstare.Session: the store only ever grows (a
+// query tops up to its own sample threshold θ(budget) and reuses every
+// prefix), the solver folds each RR set into its persistent gain counts at
+// most once (queries at the high-water θ are pure selection passes), and
+// the compiled sampling plan comes from the process-wide plan cache. A
+// query whose θ falls BELOW the already-scanned prefix is answered by a
+// throwaway from-scratch solve over [0, θ) — an O(θ) rescan — while the
+// persistent counts stay at the high-water mark, so the next larger budget
+// is incremental again; for alternating big/small budgets that beats
+// rewinding the persistent solver, whose every big query would then rescan
+// the larger suffix. Concurrency follows the same RWMutex discipline:
+// queries needing no growth share a read lock; top-ups take the write
+// lock; solves serialize on the single solver (selection is the cheap
+// phase).
+//
+// Each Maximize(budget) is solved on the stream prefix of length
+// θ(budget), so its result is a pure function of (instance, model, seed,
+// kernel, ε, δ, budget) — independent of what was queried before, and
+// bit-identical to a cold BudgetedMaximize at the same parameters when
+// Samples is pinned.
+type BudgetedSession struct {
+	inst *Instance
+	opt  BudgetedOptions // stream parameters; the Budget field is ignored
+
+	store ris.Store
+	mu    sync.RWMutex // store growth: writer tops up, readers solve
+	solMu sync.Mutex   // the incremental solver's scratch is single-writer
+	sol   *maxcover.BudgetedSolver
+}
+
+// NewBudgetedSession builds a budgeted serving session. opt fixes the
+// stream (costs, ε, δ, seed, workers, shards, kernel, optional pinned
+// Samples); opt.Budget is ignored — budgets arrive per query.
+func NewBudgetedSession(t *Instance, model diffusion.Model, opt BudgetedOptions) (*BudgetedSession, error) {
+	if err := opt.normalize(t.G.NumNodes()); err != nil {
+		return nil, err
+	}
+	s, err := t.Sampler(model)
+	if err != nil {
+		return nil, err
+	}
+	s = s.WithKernel(opt.Kernel)
+	store := ris.NewStore(s, opt.Seed, ris.StoreOptions{
+		Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+	})
+	return &BudgetedSession{
+		inst: t, opt: opt,
+		store: store,
+		sol:   maxcover.NewBudgetedSolver(store, opt.Costs),
+	}, nil
+}
+
+// Samples returns the number of WRIS samples resident in the session store.
+func (bs *BudgetedSession) Samples() int {
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	return bs.store.Len()
+}
+
+// Maximize serves one budget query on the stream prefix of length
+// θ(budget) (BudgetedOptions.Samples pins θ), growing the store only past
+// its current length.
+func (bs *BudgetedSession) Maximize(budget float64) (*BudgetedResult, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadBudget, budget)
+	}
+	return bs.maximizeAt(budget, bs.inst.sampleSize(bs.opt, budget), time.Now()), nil
+}
+
+// maximizeAt solves one budget over the stream prefix [0, samples),
+// topping the store up as needed. start anchors the reported Elapsed
+// (BudgetedSweep threads one start through all its solves, preserving its
+// cumulative-elapsed contract).
+func (bs *BudgetedSession) maximizeAt(budget float64, samples int, start time.Time) *BudgetedResult {
+	bs.mu.RLock()
+	grown := bs.store.Len() >= samples
+	bs.mu.RUnlock()
+	if !grown {
+		bs.mu.Lock()
+		bs.store.GenerateTo(samples) // re-checks under the lock; grow-only
+		bs.mu.Unlock()
+	}
+	bs.mu.RLock()
+	bs.solMu.Lock()
+	mc := bs.sol.Solve(samples, budget)
+	bs.solMu.Unlock()
+	mem := bs.store.Bytes()
+	bs.mu.RUnlock()
+	return &BudgetedResult{
+		Seeds:   mc.Seeds,
+		Benefit: mc.Influence(bs.inst.Gamma),
+		Budget:  budget,
+		Cost:    mc.Cost,
+		Samples: int64(mc.Upto),
+		Elapsed: time.Since(start),
+		Memory:  mem,
+	}
+}
+
 // BudgetedSweep solves the budgeted TVM problem for every budget in the
-// list against ONE WRIS sample collection: the stream is generated once —
-// sized at max_b sampleSize(b) so every budget gets at least the samples
-// its standalone (ε, δ) guarantee requires (the threshold is not monotone
-// in the budget: a larger budget can afford a higher-benefit single node,
-// which shrinks its θ) — its gain counts are accumulated once by an
-// incremental maxcover.BudgetedSolver, and each budget is then a pure
-// selection pass proportional to its covered items. Each returned result
-// is bit-identical to maxcover.GreedyBudgeted on the same collection — but
-// a sweep over N budgets costs one stream scan instead of N.
+// list against ONE WRIS sample stream — a BudgetedSession serving the whole
+// sweep. The stream is sized once at max_b sampleSize(b), so every budget
+// gets at least the samples its standalone (ε, δ) guarantee requires (the
+// threshold is not monotone in the budget: a larger budget can afford a
+// higher-benefit single node, which shrinks its θ); the session's
+// incremental maxcover.BudgetedSolver accumulates gain counts once, and
+// each budget is then a pure selection pass proportional to its covered
+// items. Each returned result is bit-identical to maxcover.GreedyBudgeted
+// on the same collection — but a sweep over N budgets costs one stream
+// scan instead of N, and further sweeps on the same session reuse stream
+// and counts entirely.
 //
 // Budgets may arrive in any order (ascending, descending, duplicated);
 // every entry must be positive. Results are returned in input order, each
@@ -158,38 +263,21 @@ func BudgetedSweep(t *Instance, model diffusion.Model, budgets []float64, opt Bu
 			return nil, fmt.Errorf("%w (got %v)", ErrBadBudget, b)
 		}
 	}
-	if err := opt.normalize(t.G.NumNodes()); err != nil {
-		return nil, err
-	}
-	samples := 0
-	for _, b := range budgets {
-		if s := t.sampleSize(opt, b); s > samples {
-			samples = s
-		}
-	}
-	s, err := t.Sampler(model)
+	bs, err := NewBudgetedSession(t, model, opt)
 	if err != nil {
 		return nil, err
 	}
-	s = s.WithKernel(opt.Kernel)
-
-	col := ris.NewStore(s, opt.Seed, ris.StoreOptions{
-		Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
-	})
-	col.Generate(samples)
-	sol := maxcover.NewBudgetedSolver(col, opt.Costs)
+	// All budgets solve on the shared max-θ prefix: each gets at least its
+	// standalone sample requirement, and the whole sweep is one stream.
+	samples := 0
+	for _, b := range budgets {
+		if s := t.sampleSize(bs.opt, b); s > samples {
+			samples = s
+		}
+	}
 	out := make([]*BudgetedResult, len(budgets))
 	for i, b := range budgets {
-		mc := sol.Solve(col.Len(), b)
-		out[i] = &BudgetedResult{
-			Seeds:   mc.Seeds,
-			Benefit: mc.Influence(t.Gamma),
-			Budget:  b,
-			Cost:    mc.Cost,
-			Samples: int64(col.Len()),
-			Elapsed: time.Since(start),
-			Memory:  col.Bytes(),
-		}
+		out[i] = bs.maximizeAt(b, samples, start)
 	}
 	return out, nil
 }

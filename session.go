@@ -1,0 +1,332 @@
+package stopandstare
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stopandstare/internal/core"
+	"stopandstare/internal/epoch"
+	"stopandstare/internal/maxcover"
+	"stopandstare/internal/ris"
+	"stopandstare/internal/tvm"
+)
+
+// Session is a long-lived, concurrency-safe serving object for a stream of
+// influence-maximization queries against one (graph, model). It owns:
+//
+//   - one sampler whose compiled ris.Plan comes from the process-wide plan
+//     cache, so every session and one-shot run on the same graph compiles
+//     the plan exactly once;
+//   - one persistent RR-set store (flat or id-sharded) that only ever grows:
+//     a query's doubling loop tops up past the current stream length and
+//     never resamples a prefix — D-SSA's "no sample is discarded" principle
+//     extended across runs;
+//   - a small cache of incremental max-coverage solvers, one per requested
+//     k, each scanning only the stream suffix added since it last ran.
+//
+// Because RR set i is a pure function of (seed, i), warm reuse is not an
+// approximation: Session.Maximize returns results bit-identical — Seeds,
+// Coverage, sample counts, checkpoint traces — to a cold Maximize call with
+// the same SessionOptions and Query. Only MemoryBytes (the warm store is
+// larger) and Elapsed differ.
+//
+// Concurrency: any number of Maximize calls may run in parallel. Queries
+// that need no store growth share a read lock and proceed concurrently
+// (each coverage walk uses pooled per-query scratch); a query that must
+// grow the stream briefly takes the write lock per top-up. Queries with
+// the same k serialize on that k's solver; different k values do not
+// contend.
+type Session struct {
+	opt     SessionOptions
+	sampler *ris.Sampler
+	inst    *tvm.Instance // non-nil for weighted (TVM) sessions
+	store   ris.Store
+
+	mu      sync.RWMutex // store growth: writers top up, readers query
+	solMu   sync.Mutex   // guards solvers + solverLRU
+	solvers map[int]*kSolver
+	// solverLRU orders the cached k values, most recently used last; the
+	// cache is capped at sessionSolverLimit so an adversarial or sweeping
+	// k stream cannot grow per-session memory without bound (each solver
+	// holds O(n) gain/scratch arrays). Eviction is safe mid-query: a query
+	// holding an evicted solver keeps using it; only the map forgets it.
+	solverLRU []int
+	marks     sync.Pool // *epoch.Marks, per-query coverage scratch
+	queries   atomic.Int64
+}
+
+// sessionSolverLimit bounds the per-k solver cache. Each solver costs
+// ~13·NumNodes bytes of gains/scratch; a handful covers any realistic
+// serving mix of k values, and an evicted k simply rebuilds its gain
+// counts (one stream scan) on its next query.
+const sessionSolverLimit = 16
+
+// kSolver is one per-k incremental solver slot. Queries with the same k
+// serialize on mu; the solver is replaced (not rescanned per checkpoint)
+// when a query's schedule starts below the already-scanned prefix, so a
+// warm repeated query still folds the stream in exactly once.
+type kSolver struct {
+	mu  sync.Mutex
+	sol *maxcover.Solver
+}
+
+// SessionOptions fixes the per-session parameters: everything that selects
+// the RR-sample stream itself. Queries (k, ε, δ, algorithm) vary per call;
+// the stream parameters cannot, or warm reuse would not be bit-identical.
+type SessionOptions struct {
+	// Seed drives the RR stream; RR set i is a pure function of (Seed, i).
+	// 0 is a valid seed.
+	Seed uint64
+	// Workers bounds sampling parallelism (≤0 ⇒ runtime.GOMAXPROCS(0)).
+	Workers int
+	// Shards ≥ 1 keeps the stream in an id-sharded store; ≤0 selects flat.
+	// Bit-identical either way (see Options.Shards).
+	Shards int
+	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1.
+	ShardWorkers int
+	// Kernel selects the RR sampling implementation (see Options.Kernel).
+	Kernel Kernel
+	// Weights, when non-nil, makes this a weighted (targeted viral
+	// marketing) session: roots are drawn proportionally to Weights[v] ≥ 0
+	// and results estimate benefit B(S) instead of influence. Must have one
+	// entry per node with a positive sum.
+	Weights []float64
+}
+
+// Query is one influence-maximization request against a Session.
+type Query struct {
+	// Algorithm must be DSSA (default when empty) or SSA — the two
+	// stop-and-stare loops share the session's stream.
+	Algorithm Algorithm
+	// K is the seed budget (required, 1 ≤ K ≤ n).
+	K int
+	// Epsilon is the approximation slack; 0 ⇒ 0.1 (the paper's setting).
+	Epsilon float64
+	// Delta is the failure probability; 0 ⇒ 1/n.
+	Delta float64
+	// Eps1, Eps2, Eps3 optionally fix SSA's ε-split (see Options).
+	Eps1, Eps2, Eps3 float64
+	// OnCheckpoint, when non-nil, observes every stop-and-stare checkpoint.
+	OnCheckpoint func(Checkpoint)
+}
+
+// SessionStats is a point-in-time snapshot of a session's resident state,
+// with plan and store memory reported separately: the plan is shared
+// process-wide per (graph, model), so summing Stats().PlanBytes across
+// sessions on one graph would double-count, while StoreBytes is genuinely
+// per-session.
+type SessionStats struct {
+	// Queries is the number of Maximize calls served.
+	Queries int64
+	// Samples is the number of RR sets resident in the store.
+	Samples int
+	// Items is the total number of node entries across resident RR sets.
+	Items int64
+	// StoreBytes approximates the store's own memory: arena, offset tables
+	// and CSR index blocks — excluding the shared plan.
+	StoreBytes int64
+	// PlanBytes is the compiled sampling plan's memory (0 if the session's
+	// kernel never forced a compile). Shared per (graph, model).
+	PlanBytes int64
+	// Solvers is the number of cached per-k incremental solvers.
+	Solvers int
+}
+
+// NewSession builds a serving session for (g, model). The heavy pieces are
+// lazy: the plan compiles (once per graph and model, process-wide) on first
+// sampling, and the store grows on first query.
+func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("stopandstare: nil graph")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		sampler *ris.Sampler
+		inst    *tvm.Instance
+		err     error
+	)
+	if opt.Weights != nil {
+		if inst, err = tvm.NewInstance(g, opt.Weights); err != nil {
+			return nil, err
+		}
+		if sampler, err = inst.Sampler(model); err != nil {
+			return nil, err
+		}
+	} else if sampler, err = ris.NewSampler(g, model); err != nil {
+		return nil, err
+	}
+	sampler = sampler.WithKernel(opt.Kernel)
+	s := &Session{
+		opt:     opt,
+		sampler: sampler,
+		inst:    inst,
+		store: ris.NewStore(sampler, opt.Seed, ris.StoreOptions{
+			Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+		}),
+		solvers: make(map[int]*kSolver),
+	}
+	s.marks.New = func() any { return new(epoch.Marks) }
+	return s, nil
+}
+
+// Maximize serves one query from the session's stream. Repeated or refined
+// queries (same k, larger k, tighter ε, other algorithm) pay only for the
+// stream suffix beyond what previous queries already generated — often
+// nothing — and return exactly what a cold Maximize with the same seed
+// would.
+func (s *Session) Maximize(q Query) (*Result, error) {
+	algo := q.Algorithm
+	if algo == "" {
+		algo = DSSA
+	}
+	if algo != SSA && algo != DSSA {
+		return nil, fmt.Errorf("stopandstare: session queries support ssa/dssa, not %q", algo)
+	}
+	if q.Epsilon == 0 {
+		q.Epsilon = 0.1
+	}
+	copt := core.Options{
+		K: q.K, Epsilon: q.Epsilon, Delta: q.Delta,
+		Seed: s.opt.Seed, Workers: s.opt.Workers,
+		Kernel: s.opt.Kernel,
+		Eps1:   q.Eps1, Eps2: q.Eps2, Eps3: q.Eps3,
+		Trace: q.OnCheckpoint,
+	}
+	if s.inst != nil && q.K >= 1 {
+		copt.OptLowerBound = s.inst.OptLowerBound(q.K)
+	}
+	env := sessionEnv{s: s}
+	var res *core.Result
+	var err error
+	if algo == DSSA {
+		res, err = core.DSSAWith(copt, env)
+	} else {
+		res, err = core.SSAWith(copt, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	return &Result{Seeds: res.Seeds, InfluenceEstimate: res.Influence,
+		Samples: res.TotalSamples, Iterations: res.Iterations, HitCap: res.HitCap,
+		MemoryBytes: res.MemoryBytes, Elapsed: res.Elapsed, Warm: !res.Grew}, nil
+}
+
+// Gamma returns Σ_v b(v) for weighted sessions (0 for classic IM sessions):
+// the maximum attainable benefit, and the scale of InfluenceEstimate.
+func (s *Session) Gamma() float64 {
+	if s.inst == nil {
+		return 0
+	}
+	return s.inst.Gamma
+}
+
+// Stats snapshots the session's resident state. Safe to call concurrently
+// with queries.
+func (s *Session) Stats() SessionStats {
+	s.mu.RLock()
+	samples := s.store.Len()
+	items := s.store.Items()
+	// Plan bytes are read BEFORE the store total inside the same read-lock
+	// section: PlanBytes is monotone (0 → compiled size, once), so total —
+	// which re-reads it inside Store.Bytes — can only see a value ≥ plan,
+	// keeping StoreBytes = total − plan non-negative even if another
+	// sampler on the same graph compiles the plan mid-snapshot.
+	plan := s.sampler.PlanBytes()
+	total := s.store.Bytes()
+	s.mu.RUnlock()
+	s.solMu.Lock()
+	nsolv := len(s.solvers)
+	s.solMu.Unlock()
+	return SessionStats{
+		Queries:    s.queries.Load(),
+		Samples:    samples,
+		Items:      items,
+		StoreBytes: total - plan, // Store.Bytes includes the shared plan
+		PlanBytes:  plan,
+		Solvers:    nsolv,
+	}
+}
+
+// solverFor returns the per-k solver slot, creating it on first use and
+// evicting the least recently used k beyond sessionSolverLimit.
+func (s *Session) solverFor(k int) *kSolver {
+	s.solMu.Lock()
+	defer s.solMu.Unlock()
+	ks, ok := s.solvers[k]
+	if ok {
+		for i, kk := range s.solverLRU {
+			if kk == k {
+				s.solverLRU = append(append(s.solverLRU[:i], s.solverLRU[i+1:]...), k)
+				break
+			}
+		}
+		return ks
+	}
+	ks = &kSolver{sol: maxcover.NewSolver(s.store)}
+	s.solvers[k] = ks
+	s.solverLRU = append(s.solverLRU, k)
+	if len(s.solverLRU) > sessionSolverLimit {
+		delete(s.solvers, s.solverLRU[0])
+		s.solverLRU = s.solverLRU[1:]
+	}
+	return ks
+}
+
+// DropCachedPlans evicts g's compiled sampling plans from the process-wide
+// plan cache, releasing the graph key. Live sessions and samplers keep the
+// plans they already hold; only future compilations are affected. Call this
+// when a serving process retires a graph.
+func DropCachedPlans(g *Graph) { ris.DropCachedPlans(g) }
+
+// sessionEnv adapts a Session to core.Exec: read-only query phases share
+// the session's read lock, store top-ups take the write lock, solves go
+// through the per-k solver cache, and coverage walks use pooled scratch so
+// concurrent queries never share mutable state.
+type sessionEnv struct{ s *Session }
+
+func (e sessionEnv) Store() ris.Store { return e.s.store }
+
+func (e sessionEnv) Ensure(target int) bool {
+	s := e.s
+	s.mu.RLock()
+	ok := s.store.Len() >= target
+	s.mu.RUnlock()
+	if ok {
+		return false
+	}
+	s.mu.Lock()
+	grew := s.store.Len() < target // another query may have topped up first
+	s.store.GenerateTo(target)
+	s.mu.Unlock()
+	return grew
+}
+
+func (e sessionEnv) Acquire() { e.s.mu.RLock() }
+func (e sessionEnv) Release() { e.s.mu.RUnlock() }
+
+func (e sessionEnv) Solve(upto, k int) maxcover.Result {
+	ks := e.s.solverFor(k)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if upto < ks.sol.Scanned() {
+		// A fresh query's schedule restarts below the scanned prefix.
+		// Replace the solver rather than letting every checkpoint fall back
+		// to a from-scratch solve: the checkpoints of this query then fold
+		// the stream in incrementally, one scan total. Results are
+		// unchanged either way (Solve ≡ Greedy at any upto).
+		ks.sol = maxcover.NewSolver(e.s.store)
+	}
+	return ks.sol.Solve(upto, k)
+}
+
+func (e sessionEnv) Coverage(seeds []uint32, from, to int) int64 {
+	m := e.s.marks.Get().(*epoch.Marks)
+	cov := ris.CoverageRangeSeedsMarks(e.s.store, m, seeds, from, to)
+	e.s.marks.Put(m)
+	return cov
+}

@@ -171,6 +171,10 @@ type Result struct {
 	MemoryBytes int64
 	// Elapsed is the wall-clock time of the algorithm.
 	Elapsed time.Duration
+	// Warm reports a Session query answered entirely from already-resident
+	// RR samples (no store growth; SSA's ephemeral verification samples
+	// don't count). Always false for one-shot Maximize calls.
+	Warm bool
 }
 
 func (o Options) fill() Options {
@@ -196,28 +200,21 @@ func Maximize(g *Graph, model Model, algo Algorithm, opt Options) (*Result, erro
 	opt = opt.fill()
 	switch algo {
 	case SSA, DSSA:
-		s, err := ris.NewSampler(g, model)
-		if err != nil {
-			return nil, err
-		}
-		copt := core.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
+		// A one-shot run is exactly a session serving a single query: the
+		// same loops, store and solver machinery, so the cold path and the
+		// serving path cannot drift apart.
+		sess, err := NewSession(g, model, SessionOptions{
 			Seed: opt.Seed, Workers: opt.Workers,
 			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
 			Kernel: opt.Kernel,
-			Eps1:   opt.Eps1, Eps2: opt.Eps2, Eps3: opt.Eps3,
-			Trace: opt.OnCheckpoint}
-		var res *core.Result
-		if algo == DSSA {
-			res, err = core.DSSA(s, copt)
-		} else {
-			res, err = core.SSA(s, copt)
-		}
+		})
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Seeds: res.Seeds, InfluenceEstimate: res.Influence,
-			Samples: res.TotalSamples, Iterations: res.Iterations, HitCap: res.HitCap,
-			MemoryBytes: res.MemoryBytes, Elapsed: res.Elapsed}, nil
+		return sess.Maximize(Query{Algorithm: algo, K: opt.K,
+			Epsilon: opt.Epsilon, Delta: opt.Delta,
+			Eps1: opt.Eps1, Eps2: opt.Eps2, Eps3: opt.Eps3,
+			OnCheckpoint: opt.OnCheckpoint})
 	case IMM, TIM, TIMPlus:
 		s, err := ris.NewSampler(g, model)
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"stopandstare/internal/baselines"
-	"stopandstare/internal/core"
 	"stopandstare/internal/gen"
 	"stopandstare/internal/tvm"
 )
@@ -46,21 +45,22 @@ func MaximizeTargeted(g *Graph, model Model, weights []float64, algo Algorithm, 
 	opt = opt.fill()
 	switch algo {
 	case DSSA, SSA:
-		copt := core.Options{K: opt.K, Epsilon: opt.Epsilon, Delta: opt.Delta,
+		// One-shot weighted session: same machinery as the serving path.
+		sess, err := NewSession(g, model, SessionOptions{
 			Seed: opt.Seed, Workers: opt.Workers,
 			Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
-			Kernel: opt.Kernel}
-		var res *core.Result
-		if algo == DSSA {
-			res, err = tvm.DSSA(inst, model, copt)
-		} else {
-			res, err = tvm.SSA(inst, model, copt)
-		}
+			Kernel: opt.Kernel, Weights: weights,
+		})
 		if err != nil {
 			return nil, err
 		}
-		return &TVMResult{Seeds: res.Seeds, BenefitEstimate: res.Influence,
-			Gamma: inst.Gamma, Samples: res.TotalSamples, Elapsed: res.Elapsed}, nil
+		res, err := sess.Maximize(Query{Algorithm: algo, K: opt.K,
+			Epsilon: opt.Epsilon, Delta: opt.Delta})
+		if err != nil {
+			return nil, err
+		}
+		return &TVMResult{Seeds: res.Seeds, BenefitEstimate: res.InfluenceEstimate,
+			Gamma: inst.Gamma, Samples: res.Samples, Elapsed: res.Elapsed}, nil
 	case TIMPlus:
 		res, err := tvm.KBTIM(inst, model, baselines.Options{K: opt.K,
 			Epsilon: opt.Epsilon, Delta: opt.Delta, Seed: opt.Seed, Workers: opt.Workers,
