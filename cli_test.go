@@ -99,6 +99,25 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("imtvm budgeted output: %s", out)
 	}
 
+	// The out-of-core leg: write the same preset as a mmap-able .sasg,
+	// check imstats reports mapped storage, and run the solver on it.
+	mappedFile := filepath.Join(work, "g.sasg")
+	out = run(t, filepath.Join(bin, "imgen"),
+		"-preset", "nethept", "-scale", "0.2", "-seed", "5", "-obin", "-out", mappedFile)
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "lt-valid=true") {
+		t.Fatalf("imgen -obin output: %s", out)
+	}
+	out = run(t, filepath.Join(bin, "imstats"), "-graph", mappedFile)
+	if !strings.Contains(out, "storage:       mapped") || !strings.Contains(out, "lt-valid:      true") {
+		t.Fatalf("imstats on .sasg output: %s", out)
+	}
+	out = run(t, filepath.Join(bin, "imrun"),
+		"-graph", mappedFile, "-algo", "dssa", "-k", "10", "-model", "LT",
+		"-eps", "0.2", "-seed", "3")
+	if !strings.Contains(out, "seeds: "+seedLine) {
+		t.Fatalf("imrun on .sasg drifted from .ssg seeds %q: %s", seedLine, out)
+	}
+
 	// imbench: registry listing plus one quick experiment.
 	out = run(t, filepath.Join(bin, "imbench"), "-list")
 	if !strings.Contains(out, "table3") || !strings.Contains(out, "fig8") {

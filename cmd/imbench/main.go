@@ -32,6 +32,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store; results identical)")
 		shardW   = flag.Int("shard-workers", 0, "per-shard workers (0 = workers/shards)")
 		kernel   = flag.String("kernel", "plan", "RR sampling kernel: plan (compiled) or oracle (Bernoulli reference)")
+		graphF   = flag.String("graph", "", "run experiments on this graph file (.ssg or .sasg) instead of generated presets")
 		scaleMul = flag.Float64("scale", 1.0, "multiplier on default dataset scales")
 		mcRuns   = flag.Int("mc", 0, "MC runs for scoring seed sets (0 = default)")
 		kList    = flag.String("k", "", "override k sweep, comma-separated")
@@ -64,7 +65,7 @@ func main() {
 	}
 	cfg := bench.Config{
 		Epsilon: *eps, Delta: *delta, Seed: *seed, Workers: *workers,
-		Shards: *shards, ShardWorkers: *shardW, Kernel: krn,
+		Shards: *shards, ShardWorkers: *shardW, Kernel: krn, GraphFile: *graphF,
 		ScaleMul: *scaleMul, MCRuns: *mcRuns, Quick: *quick,
 		IncludeCELF: *celf,
 	}

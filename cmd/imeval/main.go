@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("graph", "", "binary graph file (required)")
+		path    = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (required)")
 		model   = flag.String("model", "LT", "propagation model: IC or LT")
 		seedStr = flag.String("seeds", "", "whitespace-separated seed node ids (required)")
 		runs    = flag.Int("runs", 10000, "Monte-Carlo simulations")
@@ -29,7 +29,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "imeval: need -graph and -seeds")
 		os.Exit(1)
 	}
-	g, err := stopandstare.LoadGraphBinaryFile(*path)
+	g, err := stopandstare.OpenGraphFile(*path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imeval: load: %v\n", err)
 		os.Exit(1)

@@ -1,11 +1,13 @@
 // Command imgen generates synthetic influence graphs: either stand-ins for
 // the paper's Table 2 datasets (-preset) or raw generator output
 // (-generator er|ba|powerlaw|ws). Output is the compact binary format
-// (default) or a text edge list (-text).
+// (default), the mmap-able out-of-core format (-obin), or a text edge list
+// (-text).
 //
 // Examples:
 //
 //	imgen -preset nethept -scale 1.0 -out nethept.ssg
+//	imgen -preset friendster -obin -out friendster.sasg
 //	imgen -generator powerlaw -n 100000 -m 1000000 -gamma 2.1 -out pl.ssg
 //	imgen -preset enron -text -out enron.txt
 package main
@@ -35,6 +37,7 @@ func main() {
 		model     = flag.String("weights", "wc", "edge weights: wc, uniform, trivalency")
 		uniformP  = flag.Float64("p", 0.1, "probability for -weights uniform")
 		text      = flag.Bool("text", false, "write a text edge list instead of binary")
+		obin      = flag.Bool("obin", false, "write the mmap-able out-of-core .sasg format instead of .ssg")
 		out       = flag.String("out", "", "output path (required)")
 	)
 	flag.Parse()
@@ -82,7 +85,8 @@ func main() {
 		fail("generate: %v", err)
 	}
 
-	if *text {
+	switch {
+	case *text:
 		f, err := os.Create(*out)
 		if err != nil {
 			fail("create: %v", err)
@@ -93,8 +97,14 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail("close: %v", err)
 		}
-	} else if err := g.SaveBinaryFile(*out); err != nil {
-		fail("write: %v", err)
+	case *obin:
+		if err := g.WriteMappedFile(*out); err != nil {
+			fail("write: %v", err)
+		}
+	default:
+		if err := g.SaveBinaryFile(*out); err != nil {
+			fail("write: %v", err)
+		}
 	}
 	s := g.Stats()
 	fmt.Printf("wrote %s: n=%d m=%d avg-deg=%.2f max-out=%d lt-valid=%v\n",

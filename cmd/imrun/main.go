@@ -16,7 +16,7 @@ import (
 
 func main() {
 	var (
-		path    = flag.String("graph", "", "binary graph file (required)")
+		path    = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (required)")
 		algo    = flag.String("algo", "dssa", "algorithm: dssa, ssa, imm, tim+, tim, celf++, celf, degree, random")
 		k       = flag.Int("k", 50, "seed budget")
 		model   = flag.String("model", "LT", "propagation model: IC or LT")
@@ -31,7 +31,7 @@ func main() {
 	if *path == "" {
 		fail("missing -graph")
 	}
-	g, err := stopandstare.LoadGraphBinaryFile(*path)
+	g, err := stopandstare.OpenGraphFile(*path)
 	if err != nil {
 		fail("load: %v", err)
 	}

@@ -58,18 +58,22 @@ type maximizeResponse struct {
 	Warm bool `json:"warm"`
 }
 
-// statsResponse is the GET /stats body.
+// statsResponse is the GET /stats body. Graph memory is reported split:
+// resident bytes are private heap, mapped bytes alias a read-only .sasg
+// file mapping shared across every process serving the same file.
 type statsResponse struct {
-	Nodes      int     `json:"nodes"`
-	Edges      int64   `json:"edges"`
-	Model      string  `json:"model"`
-	Queries    int64   `json:"queries"`
-	Samples    int     `json:"samples"`
-	Items      int64   `json:"items"`
-	StoreBytes int64   `json:"store_bytes"`
-	PlanBytes  int64   `json:"plan_bytes"`
-	Solvers    int     `json:"solvers"`
-	UptimeSec  float64 `json:"uptime_sec"`
+	Nodes              int     `json:"nodes"`
+	Edges              int64   `json:"edges"`
+	Model              string  `json:"model"`
+	Queries            int64   `json:"queries"`
+	Samples            int     `json:"samples"`
+	Items              int64   `json:"items"`
+	StoreBytes         int64   `json:"store_bytes"`
+	PlanBytes          int64   `json:"plan_bytes"`
+	GraphResidentBytes int64   `json:"graph_resident_bytes"`
+	GraphMappedBytes   int64   `json:"graph_mapped_bytes"`
+	Solvers            int     `json:"solvers"`
+	UptimeSec          float64 `json:"uptime_sec"`
 }
 
 // server wires one Session into an http.Handler. Split from main so tests
@@ -153,22 +157,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.sess.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Nodes:      s.g.NumNodes(),
-		Edges:      s.g.NumEdges(),
-		Model:      fmt.Sprint(s.model),
-		Queries:    st.Queries,
-		Samples:    st.Samples,
-		Items:      st.Items,
-		StoreBytes: st.StoreBytes,
-		PlanBytes:  st.PlanBytes,
-		Solvers:    st.Solvers,
-		UptimeSec:  time.Since(s.start).Seconds(),
+		Nodes:              s.g.NumNodes(),
+		Edges:              s.g.NumEdges(),
+		Model:              fmt.Sprint(s.model),
+		Queries:            st.Queries,
+		Samples:            st.Samples,
+		Items:              st.Items,
+		StoreBytes:         st.StoreBytes,
+		PlanBytes:          st.PlanBytes,
+		GraphResidentBytes: st.GraphResidentBytes,
+		GraphMappedBytes:   st.GraphMappedBytes,
+		Solvers:            st.Solvers,
+		UptimeSec:          time.Since(s.start).Seconds(),
 	})
 }
 
 func main() {
 	var (
-		path    = flag.String("graph", "", "binary graph file (or use -preset)")
+		path    = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (or use -preset)")
 		preset  = flag.String("preset", "", "synthetic preset graph (see imgen)")
 		scale   = flag.Float64("scale", 1.0, "preset scale multiplier")
 		model   = flag.String("model", "IC", "propagation model: IC or LT")
@@ -185,7 +191,10 @@ func main() {
 	)
 	switch {
 	case *path != "":
-		g, err = stopandstare.LoadGraphBinaryFile(*path)
+		// Sniffs the format: a .sasg file mmaps in O(1) with pages shared
+		// across imserve processes on this machine; a .ssg file is read and
+		// copied to the heap.
+		g, err = stopandstare.OpenGraphFile(*path)
 	case *preset != "":
 		g, err = stopandstare.GeneratePreset(*preset, *scale, *seed)
 	default:

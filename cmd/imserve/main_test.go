@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -111,6 +112,56 @@ func TestServeStats(t *testing.T) {
 	}
 	if st.Solvers != 1 {
 		t.Fatalf("stats: solvers=%d, want 1", st.Solvers)
+	}
+	// The test server's graph lives on the heap: all its bytes are
+	// resident, none mapped.
+	if st.GraphResidentBytes <= 0 || st.GraphMappedBytes != 0 {
+		t.Fatalf("stats: graph bytes resident=%d mapped=%d, want resident>0 mapped=0",
+			st.GraphResidentBytes, st.GraphMappedBytes)
+	}
+}
+
+// TestServeStatsMappedGraph serves a graph opened from its .sasg mapping
+// and checks /stats reports the bytes on the mapped side of the split.
+func TestServeStatsMappedGraph(t *testing.T) {
+	g, err := stopandstare.GeneratePowerLaw(600, 3000, 2.1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "serve.sasg")
+	if err := g.WriteMappedFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := stopandstare.OpenGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		stopandstare.DropCachedPlans(mg)
+		mg.Close()
+	})
+	sess, err := stopandstare.NewSession(mg, stopandstare.IC, stopandstare.SessionOptions{Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(mg, stopandstare.IC, sess).handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Mapped() {
+		t.Skip("no mmap on this platform; fallback accounting covered elsewhere")
+	}
+	if st.GraphMappedBytes != mg.Bytes() || st.GraphResidentBytes != 0 {
+		t.Fatalf("stats: graph bytes resident=%d mapped=%d, want 0/%d",
+			st.GraphResidentBytes, st.GraphMappedBytes, mg.Bytes())
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command imstats prints Table 2-style statistics for a graph file
-// (binary .ssg or text edge list).
+// (binary .ssg, mmap-able .sasg, or text edge list).
 //
 //	imstats -graph nethept.ssg
+//	imstats -graph friendster.sasg
 //	imstats -graph edges.txt -format text -directed
 package main
 
@@ -16,7 +17,7 @@ import (
 func main() {
 	var (
 		path     = flag.String("graph", "", "graph file (required)")
-		format   = flag.String("format", "binary", "binary or text")
+		format   = flag.String("format", "binary", "binary (.ssg/.sasg, sniffed) or text")
 		directed = flag.Bool("directed", true, "text edge lists: one arc per line")
 	)
 	flag.Parse()
@@ -28,7 +29,7 @@ func main() {
 	var err error
 	switch *format {
 	case "binary":
-		g, err = graph.LoadBinaryFile(*path)
+		g, err = graph.OpenFileAuto(*path)
 	case "text":
 		g, err = graph.LoadEdgeListFile(*path, graph.LoadOptions{Directed: *directed, Relabel: true})
 	default:
@@ -47,5 +48,7 @@ func main() {
 	fmt.Printf("isolated:      %d\n", s.Isolated)
 	fmt.Printf("max-in-weight: %.4f\n", s.MaxInWeight)
 	fmt.Printf("lt-valid:      %v\n", s.LTValid)
-	fmt.Printf("memory:        %.1f MB\n", float64(g.Bytes())/(1<<20))
+	fmt.Printf("storage:       %s\n", g.View().Kind())
+	fmt.Printf("memory:        %.1f MB (%.1f resident + %.1f mapped)\n",
+		float64(g.Bytes())/(1<<20), float64(g.ResidentBytes())/(1<<20), float64(g.MappedBytes())/(1<<20))
 }

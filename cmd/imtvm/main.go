@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		path     = flag.String("graph", "", "binary graph file (required)")
+		path     = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (required)")
 		weightsF = flag.String("weights", "", "optional 'node weight' file; default synthesises topic 1")
 		topicIdx = flag.Int("topic", 1, "synthetic topic number (1 or 2) when -weights is absent")
 		algo     = flag.String("algo", "dssa", "dssa, ssa, or tim+ (KB-TIM)")
@@ -49,7 +49,7 @@ func main() {
 	if *path == "" {
 		fail("missing -graph")
 	}
-	g, err := stopandstare.LoadGraphBinaryFile(*path)
+	g, err := stopandstare.OpenGraphFile(*path)
 	if err != nil {
 		fail("load: %v", err)
 	}

@@ -61,6 +61,23 @@ func LoadGraphBinaryFile(path string) (*Graph, error) {
 	return graph.LoadBinaryFile(path)
 }
 
+// OpenGraphMapped opens an mmap-able .sasg graph file (written by
+// Graph.WriteMappedFile or `imgen -obin`): the graph's arrays alias a
+// read-only file mapping, so opening is O(1) regardless of edge count and
+// the pages are shared by every process serving the same file. Call
+// Graph.Close to release the mapping when retiring the graph (and
+// DropCachedPlans first if it was served).
+func OpenGraphMapped(path string) (*Graph, error) {
+	return graph.OpenMapped(path)
+}
+
+// OpenGraphFile opens a binary graph file of either on-disk format by
+// sniffing the magic: .sasg mapped graphs open via OpenGraphMapped, .ssg
+// binaries via LoadGraphBinaryFile.
+func OpenGraphFile(path string) (*Graph, error) {
+	return graph.OpenFileAuto(path)
+}
+
 // GeneratePreset builds a synthetic stand-in for one of the paper's Table 2
 // datasets ("nethept", "netphy", "enron", "epinions", "dblp", "orkut",
 // "twitter", "friendster") at the given scale ∈ (0,1], with the paper's

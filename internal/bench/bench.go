@@ -26,6 +26,11 @@ type Config struct {
 	Delta   float64
 	// Seed drives the generators and algorithms.
 	Seed uint64
+	// GraphFile, when set, replaces every generated preset with the graph
+	// loaded from this file (.ssg binary or mmap-able .sasg, sniffed) — so
+	// the harness runs its experiments against a real on-disk graph instead
+	// of a synthetic stand-in.
+	GraphFile string
 	// Workers for sampling and Monte-Carlo evaluation.
 	Workers int
 	// Shards ≥ 1 stores RR sets id-sharded (ris.ShardedCollection) so the
@@ -87,9 +92,18 @@ type Dataset struct {
 	Graph *graph.Graph
 }
 
-// LoadDataset generates the named preset at cfg's scale.
+// LoadDataset generates the named preset at cfg's scale — or, when
+// cfg.GraphFile is set, opens that file instead (a .sasg file mmaps in O(1);
+// the preset name only labels the output rows).
 func LoadDataset(name string, cfg Config) (*Dataset, error) {
 	cfg = cfg.Normalize()
+	if cfg.GraphFile != "" {
+		g, err := graph.OpenFileAuto(cfg.GraphFile)
+		if err != nil {
+			return nil, fmt.Errorf("bench: opening %s: %w", cfg.GraphFile, err)
+		}
+		return &Dataset{Name: name, Scale: 1, Graph: g}, nil
+	}
 	p, err := gen.PresetByName(name)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"testing"
@@ -193,6 +194,57 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			sol := maxcover.NewBudgetedSolver(col, costs)
 			for _, bud := range budgets {
 				sol.Solve(col.Len(), bud)
+			}
+		}
+	})
+
+	// Graph-load pair: the .ssg binary loader (full read, parse, heap copy,
+	// inCum recompute) vs the .sasg mmap open (header validation only; the
+	// 1M-edge adjacency never touches memory until queried). Both operate
+	// on the same high-degree preset written to disk once up front. The
+	// mapped op includes Close so the benchmark loop doesn't accumulate
+	// mappings.
+	tmpDir, err := os.MkdirTemp("", "sasg-perf")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	ssgPath := filepath.Join(tmpDir, "hi.ssg")
+	sasgPath := filepath.Join(tmpDir, "hi.sasg")
+	if err := hi.SaveBinaryFile(ssgPath); err != nil {
+		return nil, err
+	}
+	if err := hi.WriteMappedFile(sasgPath); err != nil {
+		return nil, err
+	}
+	if probe, err := graph.OpenMapped(sasgPath); err != nil {
+		return nil, err
+	} else if probe.NumNodes() != hi.NumNodes() || probe.NumEdges() != hi.NumEdges() {
+		probe.Close()
+		return nil, fmt.Errorf("bench: mapped probe %d/%d drifted from source %d/%d",
+			probe.NumNodes(), probe.NumEdges(), hi.NumNodes(), hi.NumEdges())
+	} else if err := probe.Close(); err != nil {
+		return nil, err
+	}
+	add("graphload/binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := graph.LoadBinaryFile(ssgPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = g
+		}
+	})
+	add("graphload/mapped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := graph.OpenMapped(sasgPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.Close(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -138,8 +138,7 @@ func (b *Builder) Build(opt BuildOptions) (*Graph, error) {
 	edges = dedup
 	m := len(edges)
 
-	g := &Graph{
-		n:      n,
+	g := newHeapGraph(n, sections{
 		outIdx: make([]int64, n+1),
 		outAdj: make([]uint32, m),
 		outW:   make([]float32, m),
@@ -148,7 +147,7 @@ func (b *Builder) Build(opt BuildOptions) (*Graph, error) {
 		inW:    make([]float32, m),
 		inCum:  make([]float64, m),
 		inSum:  make([]float64, n),
-	}
+	})
 
 	// Degree counting.
 	for _, e := range edges {

@@ -2,5 +2,6 @@ package graph
 
 import "math"
 
-func floatBits(f float32) uint32 { return math.Float32bits(f) }
-func floatFrom(b uint32) float32 { return math.Float32frombits(b) }
+func floatBits(f float32) uint32   { return math.Float32bits(f) }
+func floatFrom(b uint32) float32   { return math.Float32frombits(b) }
+func float64Bits(f float64) uint64 { return math.Float64bits(f) }

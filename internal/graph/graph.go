@@ -15,17 +15,14 @@ import (
 )
 
 // Graph is an immutable directed weighted graph in dual-CSR form.
-// Node ids are dense in [0, NumNodes()).
+// Node ids are dense in [0, NumNodes()). The arrays live behind a View
+// (see view.go): heap slices for built/parsed graphs, windows of a shared
+// read-only file mapping for graphs opened with OpenMapped. The sections are
+// embedded, so every accessor below runs on plain slices either way.
 type Graph struct {
-	n      int
-	outIdx []int64   // len n+1
-	outAdj []uint32  // len m, per-source sorted by destination
-	outW   []float32 // parallel to outAdj
-	inIdx  []int64   // len n+1
-	inAdj  []uint32  // len m, per-destination sorted by source
-	inW    []float32 // parallel to inAdj
-	inCum  []float64 // per-destination running sums of inW (for LT sampling)
-	inSum  []float64 // total incoming weight per node
+	n int
+	sections
+	view View
 }
 
 // Errors returned by construction and validation.
@@ -126,14 +123,10 @@ func (g *Graph) CheckLT() error {
 	return nil
 }
 
-// Bytes returns the approximate in-memory footprint of the graph arrays.
-func (g *Graph) Bytes() int64 {
-	b := int64(len(g.outIdx)+len(g.inIdx)) * 8
-	b += int64(len(g.outAdj)+len(g.inAdj)) * 4
-	b += int64(len(g.outW)+len(g.inW)) * 4
-	b += int64(len(g.inCum)+len(g.inSum)) * 8
-	return b
-}
+// Bytes returns the approximate total footprint of the graph arrays,
+// resident plus mapped. Use ResidentBytes/MappedBytes for the split: mapped
+// bytes are kernel-shared file pages, not private process memory.
+func (g *Graph) Bytes() int64 { return g.ResidentBytes() + g.MappedBytes() }
 
 // Stats summarises a graph (Table 2 columns plus a few extras).
 type Stats struct {

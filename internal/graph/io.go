@@ -152,86 +152,17 @@ const (
 // ErrBadFormat reports a corrupt or foreign binary graph file.
 var ErrBadFormat = errors.New("graph: bad binary format")
 
-func writeU32s(w io.Writer, buf []byte, xs []uint32) error {
-	for len(xs) > 0 {
-		k := len(xs)
-		if k > len(buf)/4 {
-			k = len(buf) / 4
-		}
-		for i := 0; i < k; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
-		}
-		if _, err := w.Write(buf[:k*4]); err != nil {
-			return err
-		}
-		xs = xs[k:]
-	}
-	return nil
-}
-
-func writeF32s(w io.Writer, buf []byte, xs []float32) error {
-	for len(xs) > 0 {
-		k := len(xs)
-		if k > len(buf)/4 {
-			k = len(buf) / 4
-		}
-		for i := 0; i < k; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], floatBits(xs[i]))
-		}
-		if _, err := w.Write(buf[:k*4]); err != nil {
-			return err
-		}
-		xs = xs[k:]
-	}
-	return nil
-}
-
-func readU32s(r io.Reader, buf []byte, xs []uint32) error {
-	for len(xs) > 0 {
-		k := len(xs)
-		if k > len(buf)/4 {
-			k = len(buf) / 4
-		}
-		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
-			return err
-		}
-		for i := 0; i < k; i++ {
-			xs[i] = binary.LittleEndian.Uint32(buf[i*4:])
-		}
-		xs = xs[k:]
-	}
-	return nil
-}
-
-func readF32s(r io.Reader, buf []byte, xs []float32) error {
-	for len(xs) > 0 {
-		k := len(xs)
-		if k > len(buf)/4 {
-			k = len(buf) / 4
-		}
-		if _, err := io.ReadFull(r, buf[:k*4]); err != nil {
-			return err
-		}
-		for i := 0; i < k; i++ {
-			xs[i] = floatFrom(binary.LittleEndian.Uint32(buf[i*4:]))
-		}
-		xs = xs[k:]
-	}
-	return nil
-}
-
 // SaveBinary writes the graph in the compact binary format.
 func (g *Graph) SaveBinary(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	sw := newSectionWriter(w)
 	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:], binMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], binVersion)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.n))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(g.outAdj)))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if err := sw.bytes(hdr[:]); err != nil {
 		return err
 	}
-	buf := make([]byte, 1<<16)
 	// outIdx/inIdx are reconstructed from degrees on load; store only the
 	// adjacency and weight arrays plus the per-node out/in degrees.
 	degs := make([]uint32, 2*g.n)
@@ -239,29 +170,29 @@ func (g *Graph) SaveBinary(w io.Writer) error {
 		degs[v] = uint32(g.outIdx[v+1] - g.outIdx[v])
 		degs[g.n+v] = uint32(g.inIdx[v+1] - g.inIdx[v])
 	}
-	if err := writeU32s(bw, buf, degs); err != nil {
+	if err := sw.u32s(degs); err != nil {
 		return err
 	}
-	if err := writeU32s(bw, buf, g.outAdj); err != nil {
+	if err := sw.u32s(g.outAdj); err != nil {
 		return err
 	}
-	if err := writeF32s(bw, buf, g.outW); err != nil {
+	if err := sw.f32s(g.outW); err != nil {
 		return err
 	}
-	if err := writeU32s(bw, buf, g.inAdj); err != nil {
+	if err := sw.u32s(g.inAdj); err != nil {
 		return err
 	}
-	if err := writeF32s(bw, buf, g.inW); err != nil {
+	if err := sw.f32s(g.inW); err != nil {
 		return err
 	}
-	return bw.Flush()
+	return sw.flush()
 }
 
 // LoadBinary reads a graph written by SaveBinary.
 func LoadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	sr := newSectionReader(r)
 	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
 		return nil, err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != binMagic {
@@ -275,8 +206,7 @@ func LoadBinary(r io.Reader) (*Graph, error) {
 	if n <= 0 || m < 0 {
 		return nil, ErrBadFormat
 	}
-	g := &Graph{
-		n:      n,
+	s := sections{
 		outIdx: make([]int64, n+1),
 		outAdj: make([]uint32, m),
 		outW:   make([]float32, m),
@@ -286,50 +216,49 @@ func LoadBinary(r io.Reader) (*Graph, error) {
 		inCum:  make([]float64, m),
 		inSum:  make([]float64, n),
 	}
-	buf := make([]byte, 1<<16)
 	degs := make([]uint32, 2*n)
-	if err := readU32s(br, buf, degs); err != nil {
+	if err := sr.u32s(degs); err != nil {
 		return nil, err
 	}
 	for v := 0; v < n; v++ {
-		g.outIdx[v+1] = g.outIdx[v] + int64(degs[v])
-		g.inIdx[v+1] = g.inIdx[v] + int64(degs[n+v])
+		s.outIdx[v+1] = s.outIdx[v] + int64(degs[v])
+		s.inIdx[v+1] = s.inIdx[v] + int64(degs[n+v])
 	}
-	if g.outIdx[n] != int64(m) || g.inIdx[n] != int64(m) {
+	if s.outIdx[n] != int64(m) || s.inIdx[n] != int64(m) {
 		return nil, fmt.Errorf("%w: degree sums disagree with m", ErrBadFormat)
 	}
-	if err := readU32s(br, buf, g.outAdj); err != nil {
+	if err := sr.u32s(s.outAdj); err != nil {
 		return nil, err
 	}
-	if err := readF32s(br, buf, g.outW); err != nil {
+	if err := sr.f32s(s.outW); err != nil {
 		return nil, err
 	}
-	if err := readU32s(br, buf, g.inAdj); err != nil {
+	if err := sr.u32s(s.inAdj); err != nil {
 		return nil, err
 	}
-	if err := readF32s(br, buf, g.inW); err != nil {
+	if err := sr.f32s(s.inW); err != nil {
 		return nil, err
 	}
-	for _, v := range g.outAdj {
+	for _, v := range s.outAdj {
 		if int(v) >= n {
 			return nil, fmt.Errorf("%w: adjacency id out of range", ErrBadFormat)
 		}
 	}
-	for _, v := range g.inAdj {
+	for _, v := range s.inAdj {
 		if int(v) >= n {
 			return nil, fmt.Errorf("%w: adjacency id out of range", ErrBadFormat)
 		}
 	}
 	for v := 0; v < n; v++ {
-		lo, hi := g.inIdx[v], g.inIdx[v+1]
+		lo, hi := s.inIdx[v], s.inIdx[v+1]
 		sum := 0.0
 		for i := lo; i < hi; i++ {
-			sum += float64(g.inW[i])
-			g.inCum[i] = sum
+			sum += float64(s.inW[i])
+			s.inCum[i] = sum
 		}
-		g.inSum[v] = sum
+		s.inSum[v] = sum
 	}
-	return g, nil
+	return newHeapGraph(n, s), nil
 }
 
 // SaveBinaryFile writes the binary format to path.

@@ -1,0 +1,68 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapView backs a graph opened from a read-only file mapping. Close unmaps;
+// after that every slice of the owning Graph is invalid. Close must not race
+// with queries on the same graph — retire the graph from serving first.
+type mapView struct {
+	data []byte
+}
+
+func (v *mapView) ResidentBytes() int64 { return 0 }
+func (v *mapView) MappedBytes() int64   { return int64(len(v.data)) }
+func (v *mapView) Kind() string         { return "mapped" }
+
+func (v *mapView) Close() error {
+	if v.data == nil {
+		return nil
+	}
+	data := v.data
+	v.data = nil
+	return syscall.Munmap(data)
+}
+
+// OpenMapped maps a .sasg file read-only and returns a Graph whose arrays
+// alias the mapping in place: no parsing, no copying, O(1) in the edge
+// count. Pages fault in on first touch and are shared with every other
+// process that mapped the same file. The caller owns the mapping: Close the
+// graph to release it (the file descriptor itself is released before
+// OpenMapped returns; the mapping keeps the file pinned).
+func OpenMapped(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < sasgHeaderBytes {
+		return nil, fmt.Errorf("%w: %s is %d bytes, smaller than the %d-byte header",
+			ErrBadMapped, path, size, sasgHeaderBytes)
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("%w: %s is %d bytes, too large to map on this platform",
+			ErrBadMapped, path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	view := &mapView{data: data}
+	g, err := graphFromMapped(data, view)
+	if err != nil {
+		view.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}

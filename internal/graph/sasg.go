@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// The .sasg ("Stop-And-Stare Graph") format is the out-of-core twin of the
+// .ssg binary format: instead of a stream that LoadBinary parses and copies
+// into heap slices, the file IS the graph's memory layout. Every array the
+// Graph needs at query time — both CSR offset tables, adjacency, weights,
+// the LT cumulative in-weights and per-node in-weight sums — is a 64-byte-
+// aligned little-endian section, so OpenMapped can mmap the file read-only,
+// cast the sections in place, and return a working graph in O(1) regardless
+// of edge count. Pages fault in on first touch and are shared by every
+// process that mapped the same file.
+//
+// Layout (all fields little-endian):
+//
+//	off   size  field
+//	0     4     magic "SASG"
+//	4     4     version (currently 1)
+//	8     4     endian tag 0x01020304 (raw byte order probe)
+//	12    4     reserved (0)
+//	16    8     n, node count (uint64)
+//	24    8     m, edge count (uint64)
+//	32    128   section table: 8 × {byte offset uint64, byte length uint64}
+//	160   32    zero padding to the 192-byte header boundary
+//	192   ...   sections, each starting on a 64-byte boundary
+//
+// Sections, in canonical order (offsets in the table must match the packed
+// 64-byte-aligned layout exactly — the table is a validation cross-check and
+// a format-evolution hook, not a free-placement mechanism):
+//
+//	0  outIdx  (n+1)×int64     forward CSR offsets
+//	1  outAdj  m×uint32        forward adjacency
+//	2  outW    m×float32       forward edge weights
+//	3  inIdx   (n+1)×int64     reverse CSR offsets
+//	4  inAdj   m×uint32        reverse adjacency
+//	5  inW     m×float32       reverse edge weights
+//	6  inCum   m×float64       per-destination running in-weight sums (LT)
+//	7  inSum   n×float64       per-node total in-weight
+//
+// OpenMapped performs structural validation only (magic, version, byte
+// order, count overflow, table alignment/length/placement, CSR endpoint
+// sums): content such as adjacency ids is trusted, exactly like any other
+// mmap-ed database file — validating it would force every page and defeat
+// the O(1) open.
+const (
+	sasgMagic       = 0x47534153 // "SASG" little-endian
+	sasgVersion     = 1
+	sasgEndianTag   = 0x01020304
+	sasgAlign       = 64
+	sasgHeaderBytes = 192
+	sasgNumSections = 8
+)
+
+// ErrBadMapped reports a corrupt, foreign or unsupported .sasg file.
+var ErrBadMapped = errors.New("graph: bad mapped graph (.sasg) file")
+
+// hostLittleEndian reports whether this machine stores integers in the
+// byte order the mapped sections are cast with. The format is defined
+// little-endian; big-endian hosts must fall back to LoadBinary.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// sasgSection is one entry of the section table.
+type sasgSection struct {
+	off uint64 // byte offset from the start of the file
+	len uint64 // byte length (unpadded)
+}
+
+// sasgLayout computes the canonical packed section layout for (n, m):
+// sections in canonical order, each starting at the next 64-byte boundary
+// after its predecessor. Returns the table and the total file size.
+// Counts must already be overflow-checked (sasgCheckCounts).
+func sasgLayout(n, m uint64) ([sasgNumSections]sasgSection, uint64) {
+	lens := [sasgNumSections]uint64{
+		(n + 1) * 8, // outIdx
+		m * 4,       // outAdj
+		m * 4,       // outW
+		(n + 1) * 8, // inIdx
+		m * 4,       // inAdj
+		m * 4,       // inW
+		m * 8,       // inCum
+		n * 8,       // inSum
+	}
+	var secs [sasgNumSections]sasgSection
+	off := uint64(sasgHeaderBytes)
+	var end uint64
+	for i, l := range lens {
+		secs[i] = sasgSection{off: off, len: l}
+		end = off + l
+		off = end
+		if rem := off % sasgAlign; rem != 0 {
+			off += sasgAlign - rem
+		}
+	}
+	// The file ends where the last section's data ends — no trailing pad.
+	return secs, end
+}
+
+// sasgCheckCounts rejects node/edge counts that would overflow slice lengths
+// or the uint64 layout arithmetic on this platform (int is 32-bit on 386).
+func sasgCheckCounts(n, m uint64) error {
+	if n == 0 {
+		return fmt.Errorf("%w: zero nodes", ErrBadMapped)
+	}
+	// Each section length is at most max(n+1, m)×8 bytes and must fit an
+	// int (slice length in elements is smaller still).
+	if n > math.MaxInt/8-1 {
+		return fmt.Errorf("%w: node count %d overflows this platform", ErrBadMapped, n)
+	}
+	if m > math.MaxInt/8 {
+		return fmt.Errorf("%w: edge count %d overflows this platform", ErrBadMapped, m)
+	}
+	return nil
+}
+
+// WriteMapped writes the graph in the mmap-able .sasg format. The writer
+// streams through the same section-writer helper as SaveBinary; it never
+// builds the padded image in memory.
+func (g *Graph) WriteMapped(w io.Writer) error {
+	n, m := uint64(g.n), uint64(len(g.outAdj))
+	if err := sasgCheckCounts(n, m); err != nil {
+		return err
+	}
+	secs, _ := sasgLayout(n, m)
+	var hdr [sasgHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], sasgMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], sasgVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], sasgEndianTag)
+	binary.LittleEndian.PutUint64(hdr[16:], n)
+	binary.LittleEndian.PutUint64(hdr[24:], m)
+	for i, s := range secs {
+		binary.LittleEndian.PutUint64(hdr[32+16*i:], s.off)
+		binary.LittleEndian.PutUint64(hdr[40+16*i:], s.len)
+	}
+	sw := newSectionWriter(w)
+	if err := sw.bytes(hdr[:]); err != nil {
+		return err
+	}
+	write := []func() error{
+		func() error { return sw.i64s(g.outIdx) },
+		func() error { return sw.u32s(g.outAdj) },
+		func() error { return sw.f32s(g.outW) },
+		func() error { return sw.i64s(g.inIdx) },
+		func() error { return sw.u32s(g.inAdj) },
+		func() error { return sw.f32s(g.inW) },
+		func() error { return sw.f64s(g.inCum) },
+		func() error { return sw.f64s(g.inSum) },
+	}
+	for i, fn := range write {
+		if err := sw.padTo(sasgAlign); err != nil {
+			return err
+		}
+		if sw.off != int64(secs[i].off) {
+			return fmt.Errorf("graph: internal error: section %d at offset %d, layout says %d", i, sw.off, secs[i].off)
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return sw.flush()
+}
+
+// WriteMappedFile writes the .sasg format to path.
+func (g *Graph) WriteMappedFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteMapped(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseSasgHeader validates the header and section table of a .sasg image of
+// fileSize bytes, returning the node/edge counts and the section table.
+// Every structural failure mode — foreign magic, unsupported version or byte
+// order, count overflow, a misaligned or misplaced table entry, a section
+// length that disagrees with the counts, a file truncated mid-section —
+// yields an error wrapping ErrBadMapped.
+func parseSasgHeader(hdr []byte, fileSize uint64) (n, m uint64, secs [sasgNumSections]sasgSection, err error) {
+	fail := func(format string, args ...any) (uint64, uint64, [sasgNumSections]sasgSection, error) {
+		return 0, 0, secs, fmt.Errorf("%w: %s", ErrBadMapped, fmt.Sprintf(format, args...))
+	}
+	if len(hdr) < sasgHeaderBytes {
+		return fail("truncated header: %d bytes, want %d", len(hdr), sasgHeaderBytes)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != sasgMagic {
+		return fail("bad magic 0x%08x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != sasgVersion {
+		return fail("unsupported version %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[8:]); got != sasgEndianTag {
+		return fail("foreign byte order (endian tag 0x%08x)", got)
+	}
+	n = binary.LittleEndian.Uint64(hdr[16:])
+	m = binary.LittleEndian.Uint64(hdr[24:])
+	if err := sasgCheckCounts(n, m); err != nil {
+		return 0, 0, secs, err
+	}
+	want, total := sasgLayout(n, m)
+	if total > fileSize {
+		return fail("truncated: file is %d bytes, layout for n=%d m=%d needs %d", fileSize, n, m, total)
+	}
+	for i := 0; i < sasgNumSections; i++ {
+		secs[i] = sasgSection{
+			off: binary.LittleEndian.Uint64(hdr[32+16*i:]),
+			len: binary.LittleEndian.Uint64(hdr[40+16*i:]),
+		}
+		if secs[i].off%sasgAlign != 0 {
+			return fail("section %d misaligned at offset %d (need %d-byte alignment)", i, secs[i].off, sasgAlign)
+		}
+		if secs[i].len != want[i].len {
+			return fail("section %d length %d, want %d for n=%d m=%d", i, secs[i].len, want[i].len, n, m)
+		}
+		if secs[i].off != want[i].off {
+			return fail("section %d at offset %d, canonical layout says %d", i, secs[i].off, want[i].off)
+		}
+		if secs[i].off > fileSize || secs[i].len > fileSize-secs[i].off {
+			return fail("section %d [%d, +%d) extends past the %d-byte file", i, secs[i].off, secs[i].len, fileSize)
+		}
+	}
+	return n, m, secs, nil
+}
+
+// castI64 / castU32 / castF32 / castF64 alias a section's bytes in place.
+// The base pointer is at least 8-byte aligned (page-aligned for mmap) and
+// section offsets are 64-byte aligned, so every element is aligned.
+func castI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func castF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// graphFromMapped validates data (a complete .sasg image, mmap-ed or read
+// into aligned memory) and builds the Graph whose sections alias it, charging
+// the backing bytes to the supplied view. No section data is read beyond the
+// two CSR endpoints checked against m — opening stays O(1) in the edge count.
+func graphFromMapped(data []byte, view View) (*Graph, error) {
+	if !hostLittleEndian {
+		return nil, fmt.Errorf("%w: mapped graphs require a little-endian host (use LoadBinary)", ErrBadMapped)
+	}
+	n, m, secs, err := parseSasgHeader(data, uint64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	sec := func(i int) []byte { return data[secs[i].off : secs[i].off+secs[i].len] }
+	s := sections{
+		outIdx: castI64(sec(0)),
+		outAdj: castU32(sec(1)),
+		outW:   castF32(sec(2)),
+		inIdx:  castI64(sec(3)),
+		inAdj:  castU32(sec(4)),
+		inW:    castF32(sec(5)),
+		inCum:  castF64(sec(6)),
+		inSum:  castF64(sec(7)),
+	}
+	// Cheap endpoint sanity: both offset tables must start at 0 and end at
+	// m. Touches four pages, catches swapped or zeroed sections early.
+	if s.outIdx[0] != 0 || s.inIdx[0] != 0 || s.outIdx[n] != int64(m) || s.inIdx[n] != int64(m) {
+		return nil, fmt.Errorf("%w: CSR offset tables disagree with edge count %d", ErrBadMapped, m)
+	}
+	return &Graph{n: int(n), sections: s, view: view}, nil
+}
+
+// OpenFileAuto opens a binary graph file of either on-disk format, sniffing
+// the magic: .sasg mapped graphs open via OpenMapped (O(1), pages shared),
+// .ssg binaries load via LoadBinaryFile (full read + heap copy). Text edge
+// lists are not sniffed — use LoadEdgeListFileAuto for those.
+func OpenFileAuto(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, ErrBadFormat)
+	}
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case sasgMagic:
+		return OpenMapped(path)
+	case binMagic:
+		return LoadBinaryFile(path)
+	}
+	return nil, fmt.Errorf("%w: %s is neither a .ssg binary nor a .sasg mapped graph (text edge lists need the text loader)", ErrBadFormat, path)
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// This file is the one place that knows how numeric graph sections get on and
+// off disk: both binary writers — SaveBinary (.ssg) and WriteMapped (.sasg) —
+// stream through sectionWriter, and LoadBinary reads back through
+// sectionReader, so the two formats share buffer sizes, chunking and
+// little-endian encoding and cannot drift apart.
+
+const (
+	// ioBufBytes sizes the bufio layer of every binary graph path.
+	ioBufBytes = 1 << 20
+	// ioScratchBytes sizes the encode/decode chunk scratch.
+	ioScratchBytes = 1 << 16
+)
+
+// sectionWriter streams numeric arrays little-endian through one shared
+// scratch buffer, tracking the running byte offset so format writers can pad
+// sections out to an alignment boundary.
+type sectionWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	off int64 // bytes written so far
+}
+
+func newSectionWriter(w io.Writer) *sectionWriter {
+	return &sectionWriter{w: bufio.NewWriterSize(w, ioBufBytes), buf: make([]byte, ioScratchBytes)}
+}
+
+func (sw *sectionWriter) bytes(b []byte) error {
+	n, err := sw.w.Write(b)
+	sw.off += int64(n)
+	return err
+}
+
+func (sw *sectionWriter) u32s(xs []uint32) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sw.buf)/4)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(sw.buf[i*4:], xs[i])
+		}
+		if err := sw.bytes(sw.buf[:k*4]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func (sw *sectionWriter) f32s(xs []float32) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sw.buf)/4)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(sw.buf[i*4:], floatBits(xs[i]))
+		}
+		if err := sw.bytes(sw.buf[:k*4]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func (sw *sectionWriter) i64s(xs []int64) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sw.buf)/8)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(sw.buf[i*8:], uint64(xs[i]))
+		}
+		if err := sw.bytes(sw.buf[:k*8]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func (sw *sectionWriter) f64s(xs []float64) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sw.buf)/8)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(sw.buf[i*8:], float64Bits(xs[i]))
+		}
+		if err := sw.bytes(sw.buf[:k*8]); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+// padTo writes zero bytes until the running offset is a multiple of align.
+func (sw *sectionWriter) padTo(align int64) error {
+	rem := sw.off % align
+	if rem == 0 {
+		return nil
+	}
+	var zeros [sasgAlign]byte
+	return sw.bytes(zeros[:align-rem])
+}
+
+func (sw *sectionWriter) flush() error { return sw.w.Flush() }
+
+// sectionReader is the decoding twin: chunked little-endian reads through
+// the same scratch sizing.
+type sectionReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newSectionReader(r io.Reader) *sectionReader {
+	return &sectionReader{r: bufio.NewReaderSize(r, ioBufBytes), buf: make([]byte, ioScratchBytes)}
+}
+
+func (sr *sectionReader) u32s(xs []uint32) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sr.buf)/4)
+		if _, err := io.ReadFull(sr.r, sr.buf[:k*4]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = binary.LittleEndian.Uint32(sr.buf[i*4:])
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+func (sr *sectionReader) f32s(xs []float32) error {
+	for len(xs) > 0 {
+		k := min(len(xs), len(sr.buf)/4)
+		if _, err := io.ReadFull(sr.r, sr.buf[:k*4]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = floatFrom(binary.LittleEndian.Uint32(sr.buf[i*4:]))
+		}
+		xs = xs[k:]
+	}
+	return nil
+}

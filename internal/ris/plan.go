@@ -124,17 +124,16 @@ type Plan struct {
 	ltOff []int64
 }
 
-// NewPlan compiles the sampling plan for g under model. Compilation is a
-// single O(n + m) sweep of the reverse CSR (plus the per-node Vose builds
-// for LT); the result shares the graph's adjacency storage where the kernel
-// needs no extra per-edge state.
+// NewPlan compiles the sampling plan for g under model. Compilation streams
+// the reverse CSR once — degrees, classification and record emission happen
+// in the same per-node visit (plus the per-node Vose builds for LT), so a
+// mapped graph's idx/adj/weight pages are forced exactly one time — and the
+// result shares the graph's adjacency storage where the kernel needs no
+// extra per-edge state.
 func NewPlan(g *graph.Graph, model diffusion.Model) *Plan {
 	n := g.NumNodes()
 	idx, adj, w := g.ReverseCSR()
 	p := &Plan{model: model, n: n, deg: make([]int32, n)}
-	for v := 0; v < n; v++ {
-		p.deg[v] = int32(idx[v+1] - idx[v])
-	}
 	if model == diffusion.IC {
 		p.compileIC(idx, adj, w)
 	} else {
@@ -154,17 +153,20 @@ func (p *Plan) Bytes() int64 {
 		int64(cap(p.lt))*16 + int64(cap(p.ltOff))*8
 }
 
-// compileIC classifies each node and lays out the fused records for the
-// general class. Weighted-cascade graphs classify every node uniform, so
-// gen/genOff stay nil and the plan costs 13 bytes/node over the graph.
+// compileIC classifies each node, records its degree and lays out the fused
+// records for the general class, all in one pass over the reverse CSR — a
+// mapped graph's pages are touched once. Weighted-cascade graphs classify
+// every node uniform, so gen/genOff stay nil and the plan costs 13
+// bytes/node over the graph.
 func (p *Plan) compileIC(idx []int64, adj []uint32, w []float32) {
 	n := p.n
 	p.inIdx, p.inAdj = idx, adj
 	p.class = make([]uint8, n)
 	p.lnq = make([]float64, n)
-	var genEdges int64
 	for v := 0; v < n; v++ {
-		ws := w[idx[v]:idx[v+1]]
+		lo, hi := idx[v], idx[v+1]
+		p.deg[v] = int32(hi - lo)
+		ws := w[lo:hi]
 		uniform := true
 		for i := 1; i < len(ws); i++ {
 			if ws[i] != ws[0] {
@@ -176,21 +178,19 @@ func (p *Plan) compileIC(idx []int64, adj []uint32, w []float32) {
 			if len(ws) > 0 {
 				p.lnq[v] = rng.LogQ(float64(ws[0]))
 			}
+			if p.genOff != nil {
+				p.genOff[v+1] = int64(len(p.gen))
+			}
 			continue
 		}
 		p.class[v] = classGeneral
-		genEdges += int64(len(ws))
-	}
-	if genEdges == 0 {
-		return
-	}
-	p.genOff = make([]int64, n+1)
-	p.gen = make([]planEdge, 0, genEdges)
-	for v := 0; v < n; v++ {
-		if p.class[v] == classGeneral {
-			for i := idx[v]; i < idx[v+1]; i++ {
-				p.gen = append(p.gen, planEdge{thr: rng.Threshold64(float64(w[i])), nbr: adj[i]})
-			}
+		if p.genOff == nil {
+			// First mixed-weight node: the zeroed prefix of a fresh genOff is
+			// already correct for every uniform node seen so far.
+			p.genOff = make([]int64, n+1)
+		}
+		for i := lo; i < hi; i++ {
+			p.gen = append(p.gen, planEdge{thr: rng.Threshold64(float64(w[i])), nbr: adj[i]})
 		}
 		p.genOff[v+1] = int64(len(p.gen))
 	}
@@ -203,17 +203,18 @@ func (p *Plan) compileIC(idx []int64, adj []uint32, w []float32) {
 func (p *Plan) compileLT(g *graph.Graph, idx []int64, adj []uint32, w []float32) {
 	n := p.n
 	p.ltOff = make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		p.ltOff[v+1] = p.ltOff[v] + int64(p.deg[v]) + 1
-	}
-	p.lt = make([]ltSlot, p.ltOff[n])
-	// Per-node Vose scratch, sized to the maximum outcome count.
+	// One pass over the offset table fills degrees, the slot offsets and the
+	// Vose scratch bound together.
 	maxOut := 0
 	for v := 0; v < n; v++ {
-		if d := int(p.deg[v]) + 1; d > maxOut {
-			maxOut = d
+		d := int32(idx[v+1] - idx[v])
+		p.deg[v] = d
+		p.ltOff[v+1] = p.ltOff[v] + int64(d) + 1
+		if int(d)+1 > maxOut {
+			maxOut = int(d) + 1
 		}
 	}
+	p.lt = make([]ltSlot, p.ltOff[n])
 	scaled := make([]float64, maxOut)
 	small := make([]int32, 0, maxOut)
 	large := make([]int32, 0, maxOut)

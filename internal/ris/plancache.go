@@ -21,7 +21,10 @@ import (
 // Keys are graph *pointers*: graphs are immutable after construction in this
 // codebase, and pointer identity is exactly the sharing the serving layer
 // wants (two loads of the same file are different graphs and legitimately
-// recompile).
+// recompile). Mapped graphs (graph.OpenMapped) key identically: the Graph
+// façade is one heap object per open no matter where its arrays live, so a
+// served .sasg graph compiles its plan once exactly like a heap graph —
+// pinned by TestPlanCacheMappedGraph.
 //
 // The registry is a bounded LRU (planCacheLimit live (graph, model) keys),
 // so a process churning through a stream of throwaway graphs — a parameter

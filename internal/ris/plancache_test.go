@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -164,5 +165,47 @@ func TestPlanCacheKeying(t *testing.T) {
 	}
 	if n := PlanCompilations(g1, diffusion.IC); n != 1 {
 		t.Fatalf("recompiled entry reports %d compilations, want 1", n)
+	}
+}
+
+// TestPlanCacheMappedGraph: a graph opened from a .sasg mapping keys the
+// plan cache exactly like a heap graph — by *graph.Graph identity — so two
+// samplers on the same mapped graph share one compilation, and the cache
+// never confuses a mapped graph with the heap graph it was written from.
+func TestPlanCacheMappedGraph(t *testing.T) {
+	heap := cacheGraph(t, 905)
+	defer DropCachedPlans(heap)
+	path := filepath.Join(t.TempDir(), "cache.sasg")
+	if err := heap.WriteMappedFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	defer DropCachedPlans(mapped)
+
+	s1, err := NewSampler(mapped, diffusion.IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSampler(mapped, diffusion.IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Plan() != s2.Plan() {
+		t.Fatal("two samplers on one mapped graph compiled distinct plans")
+	}
+	if n := PlanCompilations(mapped, diffusion.IC); n != 1 {
+		t.Fatalf("mapped graph compiled %d times, want 1", n)
+	}
+	// Identity keying: the heap original is a different graph value, so it
+	// gets its own entry — nothing leaked across the backends.
+	if n := PlanCompilations(heap, diffusion.IC); n != 0 {
+		t.Fatalf("heap twin reports %d compilations before any sampler", n)
+	}
+	if CachedPlanBytes(mapped, diffusion.IC) <= 0 {
+		t.Fatal("mapped graph's cached plan reports no bytes")
 	}
 }

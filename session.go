@@ -40,6 +40,7 @@ import (
 // contend.
 type Session struct {
 	opt     SessionOptions
+	g       *Graph
 	sampler *ris.Sampler
 	inst    *tvm.Instance // non-nil for weighted (TVM) sessions
 	store   ris.Store
@@ -130,6 +131,16 @@ type SessionStats struct {
 	// PlanBytes is the compiled sampling plan's memory (0 if the session's
 	// kernel never forced a compile). Shared per (graph, model).
 	PlanBytes int64
+	// GraphResidentBytes is the graph arrays' private heap footprint — the
+	// whole graph for built/loaded graphs, 0 for mmap-ed ones. Like
+	// PlanBytes it is shared by every session on the same graph object, so
+	// summing it across such sessions double-counts.
+	GraphResidentBytes int64
+	// GraphMappedBytes is the portion of the graph aliasing a read-only
+	// file mapping (graphs opened with OpenGraphMapped): paged in on
+	// demand and shared across every process serving the same file, so it
+	// is reported separately from resident memory.
+	GraphMappedBytes int64
 	// Solvers is the number of cached per-k incremental solvers.
 	Solvers int
 }
@@ -162,6 +173,7 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 	sampler = sampler.WithKernel(opt.Kernel)
 	s := &Session{
 		opt:     opt,
+		g:       g,
 		sampler: sampler,
 		inst:    inst,
 		store: ris.NewStore(sampler, opt.Seed, ris.StoreOptions{
@@ -243,12 +255,14 @@ func (s *Session) Stats() SessionStats {
 	nsolv := len(s.solvers)
 	s.solMu.Unlock()
 	return SessionStats{
-		Queries:    s.queries.Load(),
-		Samples:    samples,
-		Items:      items,
-		StoreBytes: total - plan, // Store.Bytes includes the shared plan
-		PlanBytes:  plan,
-		Solvers:    nsolv,
+		Queries:            s.queries.Load(),
+		Samples:            samples,
+		Items:              items,
+		StoreBytes:         total - plan, // Store.Bytes includes the shared plan
+		PlanBytes:          plan,
+		GraphResidentBytes: s.g.ResidentBytes(),
+		GraphMappedBytes:   s.g.MappedBytes(),
+		Solvers:            nsolv,
 	}
 }
 
