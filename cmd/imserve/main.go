@@ -1,241 +1,278 @@
-// Command imserve exposes a serving Session over JSON/HTTP: one process
-// holds the graph, the compiled sampling plan, the growing RR-set store and
-// the per-k solver cache, and answers a stream of influence-maximization
-// queries — repeated or refined queries reuse every RR sample generated so
-// far, so warm queries cost selection, not sampling.
+// Command imserve exposes the multi-tenant serving layer over JSON/HTTP:
+// one process holds many (graph, model) sessions under a global RR-store
+// byte budget, coalesces concurrent identical queries into one execution,
+// and sheds overload as 429/503 backpressure instead of queueing without
+// bound. Repeated or refined queries on a tenant reuse every RR sample
+// generated so far, so warm queries cost selection, not sampling.
 //
-//	imserve -graph nethept.ssg -model IC -addr :8377
+//	imserve -graph nethept.sasg -model IC -addr :8377
 //	imserve -preset nethept -scale 0.5 -model LT
+//	imserve -tenants 'acme=acme.sasg,globex=globex.ssg' -budget 2GiB
 //
 //	curl -s localhost:8377/maximize -d '{"k":50,"epsilon":0.1}'
-//	curl -s localhost:8377/maximize -d '{"k":50,"algorithm":"ssa"}'
+//	curl -s localhost:8377/maximize -d '{"tenant":"acme","k":50}'
 //	curl -s localhost:8377/stats
 //
 // Endpoints:
 //
-//	POST /maximize  {"k":50,"epsilon":0.1,"delta":0,"algorithm":"dssa"}
-//	GET  /stats     session + graph snapshot (plan/store bytes reported separately)
-//	GET  /healthz   liveness
+//	POST /maximize     {"tenant":"acme","k":50,"epsilon":0.1,"algorithm":"dssa","timeout_ms":5000}
+//	GET  /stats        fleet snapshot: admission, coalescing and eviction counters plus per-tenant stores
+//	GET  /healthz      liveness
+//	GET  /debug/pprof  profiling, only with -pprof
+//
+// Tenants named via -tenants open their graph files lazily on first
+// query: a fleet of mapped .sasg tenants costs ~0 resident bytes until
+// traffic arrives, and under -budget pressure cold tenants' RR stores are
+// evicted (and rebuilt bit-identically on re-admission) while compiled
+// sampling plans stay cached.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests get up to -drain to finish, then sessions are retired.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"stopandstare"
+	"stopandstare/internal/serving"
 )
 
-// maxRequestBytes bounds a /maximize request body: queries are a handful
-// of scalar fields, so anything past 1 MiB is garbage or abuse.
-const maxRequestBytes = 1 << 20
+// options collects the flag values; split from main so tests build the
+// same stack without flags or sockets.
+type options struct {
+	graphPath string
+	preset    string
+	scale     float64
+	model     string
+	seed      uint64
+	workers   int
+	shards    int
+	kernel    string
 
-// maximizeRequest is the POST /maximize body.
-type maximizeRequest struct {
-	K         int     `json:"k"`
-	Epsilon   float64 `json:"epsilon,omitempty"`
-	Delta     float64 `json:"delta,omitempty"`
-	Algorithm string  `json:"algorithm,omitempty"` // "dssa" (default) or "ssa"
+	tenants       string // extra tenants, "name=path,name=path"
+	defaultTenant string
+	budget        string
+	inFlight      int
+	queued        int
+	timeout       time.Duration
+	pprof         bool
 }
 
-// maximizeResponse mirrors stopandstare.Result plus serving metadata.
-type maximizeResponse struct {
-	Seeds       []uint32 `json:"seeds"`
-	Influence   float64  `json:"influence"`
-	Samples     int64    `json:"samples"`
-	Iterations  int      `json:"iterations"`
-	HitCap      bool     `json:"hit_cap,omitempty"`
-	MemoryBytes int64    `json:"memory_bytes"`
-	ElapsedMS   float64  `json:"elapsed_ms"`
-	// Warm reports whether this query was served without growing the RR
-	// store (pure selection over already-resident samples) — accurate per
-	// query even under concurrent traffic.
-	Warm bool `json:"warm"`
-}
-
-// statsResponse is the GET /stats body. Graph memory is reported split:
-// resident bytes are private heap, mapped bytes alias a read-only .sasg
-// file mapping shared across every process serving the same file.
-type statsResponse struct {
-	Nodes              int     `json:"nodes"`
-	Edges              int64   `json:"edges"`
-	Model              string  `json:"model"`
-	Queries            int64   `json:"queries"`
-	Samples            int     `json:"samples"`
-	Items              int64   `json:"items"`
-	StoreBytes         int64   `json:"store_bytes"`
-	PlanBytes          int64   `json:"plan_bytes"`
-	GraphResidentBytes int64   `json:"graph_resident_bytes"`
-	GraphMappedBytes   int64   `json:"graph_mapped_bytes"`
-	Solvers            int     `json:"solvers"`
-	UptimeSec          float64 `json:"uptime_sec"`
-}
-
-// server wires one Session into an http.Handler. Split from main so tests
-// drive it through httptest without flags or sockets.
-type server struct {
-	g     *stopandstare.Graph
-	model stopandstare.Model
-	sess  *stopandstare.Session
-	start time.Time
-}
-
-func newServer(g *stopandstare.Graph, model stopandstare.Model, sess *stopandstare.Session) *server {
-	return &server{g: g, model: model, sess: sess, start: time.Now()}
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/maximize", s.handleMaximize)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-func (s *server) handleMaximize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
+// parseSize parses a byte count with an optional binary-unit suffix:
+// "1048576", "64KiB", "512MiB", "2GiB". A bare number is bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
 	}
-	var req maximizeRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	algo := stopandstare.DSSA
-	if req.Algorithm != "" {
-		a, err := stopandstare.ParseAlgorithm(req.Algorithm)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
 		}
-		algo = a
 	}
-	res, err := s.sess.Maximize(stopandstare.Query{
-		Algorithm: algo, K: req.K, Epsilon: req.Epsilon, Delta: req.Delta,
-	})
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return 0, fmt.Errorf("bad size %q (want e.g. 1048576, 64KiB, 512MiB, 2GiB)", s)
 	}
-	writeJSON(w, http.StatusOK, maximizeResponse{
-		Seeds:       res.Seeds,
-		Influence:   res.InfluenceEstimate,
-		Samples:     res.Samples,
-		Iterations:  res.Iterations,
-		HitCap:      res.HitCap,
-		MemoryBytes: res.MemoryBytes,
-		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1e3,
-		Warm:        res.Warm,
-	})
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
+// tenantSpec is one -tenants entry: a named graph file, opened lazily.
+type tenantSpec struct{ name, path string }
+
+// parseTenants splits a "name=path,name=path" list.
+func parseTenants(s string) ([]tenantSpec, error) {
+	var specs []tenantSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(part, "=")
+		name, path = strings.TrimSpace(name), strings.TrimSpace(path)
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("bad tenant spec %q (want name=path)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant %q", name)
+		}
+		seen[name] = true
+		specs = append(specs, tenantSpec{name, path})
 	}
-	st := s.sess.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Nodes:              s.g.NumNodes(),
-		Edges:              s.g.NumEdges(),
-		Model:              fmt.Sprint(s.model),
-		Queries:            st.Queries,
-		Samples:            st.Samples,
-		Items:              st.Items,
-		StoreBytes:         st.StoreBytes,
-		PlanBytes:          st.PlanBytes,
-		GraphResidentBytes: st.GraphResidentBytes,
-		GraphMappedBytes:   st.GraphMappedBytes,
-		Solvers:            st.Solvers,
-		UptimeSec:          time.Since(s.start).Seconds(),
+	return specs, nil
+}
+
+// buildManager assembles the manager and server config from the options:
+// the -graph/-preset pair becomes the "default" tenant, -tenants entries
+// become lazy graph-file tenants.
+func buildManager(o options) (*serving.Manager, serving.ServerConfig, error) {
+	var scfg serving.ServerConfig
+	mdl, err := stopandstare.ParseModel(o.model)
+	if err != nil {
+		return nil, scfg, err
+	}
+	krn, err := stopandstare.ParseKernel(o.kernel)
+	if err != nil {
+		return nil, scfg, err
+	}
+	budget, err := parseSize(o.budget)
+	if err != nil {
+		return nil, scfg, err
+	}
+	specs, err := parseTenants(o.tenants)
+	if err != nil {
+		return nil, scfg, err
+	}
+	if o.graphPath == "" && o.preset == "" && len(specs) == 0 {
+		return nil, scfg, fmt.Errorf("need -graph, -preset or -tenants")
+	}
+	sessOpts := stopandstare.SessionOptions{
+		Seed: o.seed, Workers: o.workers, Shards: o.shards, Kernel: krn,
+	}
+
+	mgr := serving.NewManager(serving.Config{
+		BudgetBytes: budget,
+		MaxInFlight: o.inFlight,
+		MaxQueued:   o.queued,
 	})
+	fail := func(err error) (*serving.Manager, serving.ServerConfig, error) {
+		mgr.Close()
+		return nil, scfg, err
+	}
+
+	defaultName := o.defaultTenant
+	switch {
+	case o.graphPath != "":
+		// Lazy: the file is sniffed and opened on the first query, so a
+		// mapped .sasg tenant costs nothing resident until traffic hits.
+		if err := mgr.AddTenant("default", serving.TenantConfig{
+			GraphFile: o.graphPath, Model: mdl, Session: sessOpts,
+		}); err != nil {
+			return fail(err)
+		}
+		if defaultName == "" {
+			defaultName = "default"
+		}
+	case o.preset != "":
+		g, err := stopandstare.GeneratePreset(o.preset, o.scale, o.seed)
+		if err != nil {
+			return fail(err)
+		}
+		if err := mgr.AddTenant("default", serving.TenantConfig{
+			Graph: g, Model: mdl, Session: sessOpts,
+		}); err != nil {
+			return fail(err)
+		}
+		if defaultName == "" {
+			defaultName = "default"
+		}
+	}
+	for _, spec := range specs {
+		if err := mgr.AddTenant(spec.name, serving.TenantConfig{
+			GraphFile: spec.path, Model: mdl, Session: sessOpts,
+		}); err != nil {
+			return fail(err)
+		}
+	}
+
+	scfg = serving.ServerConfig{
+		DefaultTenant:  defaultName,
+		DefaultTimeout: o.timeout,
+		EnablePprof:    o.pprof,
+	}
+	return mgr, scfg, nil
+}
+
+// serveAndDrain runs the server on ln until it fails or a signal arrives,
+// then shuts down gracefully: the listener closes immediately (new
+// connections are refused), in-flight requests get up to drain to finish.
+func serveAndDrain(hs *http.Server, ln net.Listener, drain time.Duration, sig <-chan os.Signal) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("imserve: %v received, draining for up to %v", s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		return nil
+	}
 }
 
 func main() {
-	var (
-		path    = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (or use -preset)")
-		preset  = flag.String("preset", "", "synthetic preset graph (see imgen)")
-		scale   = flag.Float64("scale", 1.0, "preset scale multiplier")
-		model   = flag.String("model", "IC", "propagation model: IC or LT")
-		seed    = flag.Uint64("seed", 1, "session RR-stream seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "sampling workers")
-		shards  = flag.Int("shards", 0, "RR-store shards (>=1 = id-sharded store)")
-		kernel  = flag.String("kernel", "plan", "RR sampling kernel: plan or oracle")
-		addr    = flag.String("addr", ":8377", "listen address")
-	)
+	var o options
+	flag.StringVar(&o.graphPath, "graph", "", "graph file for the default tenant, .ssg binary or mmap-able .sasg")
+	flag.StringVar(&o.preset, "preset", "", "synthetic preset graph for the default tenant (see imgen)")
+	flag.Float64Var(&o.scale, "scale", 1.0, "preset scale multiplier")
+	flag.StringVar(&o.model, "model", "IC", "propagation model: IC or LT")
+	flag.Uint64Var(&o.seed, "seed", 1, "session RR-stream seed")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "sampling workers per session")
+	flag.IntVar(&o.shards, "shards", 0, "RR-store shards (>=1 = id-sharded store)")
+	flag.StringVar(&o.kernel, "kernel", "plan", "RR sampling kernel: plan or oracle")
+	flag.StringVar(&o.tenants, "tenants", "", "additional tenants as name=path,... (graph files opened lazily)")
+	flag.StringVar(&o.defaultTenant, "default-tenant", "", "tenant answering requests that omit one")
+	flag.StringVar(&o.budget, "budget", "", "global RR-store budget, e.g. 512MiB or 2GiB (empty = unbounded)")
+	flag.IntVar(&o.inFlight, "inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queued, "queue", 0, "max queries waiting beyond -inflight (0 = 4x inflight, -1 = none)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-request wait deadline")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	addr := flag.String("addr", ":8377", "listen address")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
-	var (
-		g   *stopandstare.Graph
-		err error
-	)
-	switch {
-	case *path != "":
-		// Sniffs the format: a .sasg file mmaps in O(1) with pages shared
-		// across imserve processes on this machine; a .ssg file is read and
-		// copied to the heap.
-		g, err = stopandstare.OpenGraphFile(*path)
-	case *preset != "":
-		g, err = stopandstare.GeneratePreset(*preset, *scale, *seed)
-	default:
-		err = fmt.Errorf("need -graph or -preset")
-	}
+
+	mgr, scfg, err := buildManager(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
 		os.Exit(1)
 	}
-	mdl, err := stopandstare.ParseModel(*model)
+	defer mgr.Close()
+
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
 		os.Exit(1)
 	}
-	krn, err := stopandstare.ParseKernel(*kernel)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
-		os.Exit(1)
-	}
-	sess, err := stopandstare.NewSession(g, mdl, stopandstare.SessionOptions{
-		Seed: *seed, Workers: *workers, Shards: *shards, Kernel: krn,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
-		os.Exit(1)
-	}
-	srv := newServer(g, mdl, sess)
-	log.Printf("imserve: %d nodes / %d edges, %v model, listening on %s",
-		g.NumNodes(), g.NumEdges(), mdl, *addr)
+	log.Printf("imserve: tenants %v, model %s, listening on %s", mgr.Tenants(), o.model, ln.Addr())
 	// Header/idle timeouts guard the long-running process against slow-
 	// header and idle-connection exhaustion. No WriteTimeout: a cold query
 	// on a large graph legitimately samples for a long time.
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           serving.NewServer(mgr, scfg).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := serveAndDrain(hs, ln, *drain, sig); err != nil {
 		fmt.Fprintf(os.Stderr, "imserve: %v\n", err)
 		os.Exit(1)
 	}
+	log.Printf("imserve: drained, retiring sessions")
 }

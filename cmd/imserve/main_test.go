@@ -2,195 +2,219 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"stopandstare"
+	"stopandstare/internal/serving"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
-	t.Helper()
-	g, err := stopandstare.GeneratePowerLaw(600, 3000, 2.1, 17)
+func TestParseSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"1048576", 1 << 20, true},
+		{"64KiB", 64 << 10, true},
+		{"512MiB", 512 << 20, true},
+		{"2GiB", 2 << 30, true},
+		{" 2 GiB ", 2 << 30, true},
+		{"1.5GiB", 0, false},
+		{"-1", 0, false},
+		{"12MB", 0, false}, // decimal units are ambiguous; rejected
+	} {
+		got, err := parseSize(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants(" acme = a.sasg , globex=b.ssg ,")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := stopandstare.NewSession(g, stopandstare.IC, stopandstare.SessionOptions{Seed: 5, Workers: 2})
+	want := []tenantSpec{{"acme", "a.sasg"}, {"globex", "b.ssg"}}
+	if len(specs) != len(want) || specs[0] != want[0] || specs[1] != want[1] {
+		t.Fatalf("specs %v, want %v", specs, want)
+	}
+	for _, bad := range []string{"acme", "=x.ssg", "acme=", "a=x.ssg,a=y.ssg"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q): no error", bad)
+		}
+	}
+}
+
+// TestBuildManagerPreset drives the full flag-to-fleet path: a preset
+// default tenant plus a lazy graph-file tenant, queried over HTTP with
+// warm reuse, tenant routing, and the fleet /stats shape.
+func TestBuildManagerPreset(t *testing.T) {
+	g, err := stopandstare.GeneratePowerLaw(500, 2500, 2.1, 17)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(g, stopandstare.IC, sess)
-	ts := httptest.NewServer(srv.handler())
+	path := filepath.Join(t.TempDir(), "extra.sasg")
+	if err := g.WriteMappedFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr, scfg, err := buildManager(options{
+		preset: "nethept", scale: 0.02, model: "IC", seed: 1, workers: 2,
+		kernel: "plan", tenants: "extra=" + path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	if scfg.DefaultTenant != "default" {
+		t.Fatalf("default tenant %q, want %q", scfg.DefaultTenant, "default")
+	}
+	ts := httptest.NewServer(serving.NewServer(mgr, scfg).Handler())
 	t.Cleanup(ts.Close)
-	return srv, ts
-}
 
-func postMaximize(t *testing.T, ts *httptest.Server, body string) maximizeResponse {
-	t.Helper()
-	resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /maximize %q: status %d", body, resp.StatusCode)
-	}
-	var out maximizeResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-// TestServeMaximizeWarmReuse drives the server through a cold query, an
-// identical warm query, and a refined (larger-k) query, checking the warm
-// flag flips and the identical query returns identical seeds.
-func TestServeMaximizeWarmReuse(t *testing.T) {
-	_, ts := testServer(t)
-
-	cold := postMaximize(t, ts, `{"k":8,"epsilon":0.3}`)
-	if len(cold.Seeds) != 8 {
-		t.Fatalf("cold: got %d seeds, want 8", len(cold.Seeds))
-	}
-	if cold.Warm {
-		t.Fatal("first query reported warm")
+	post := func(body string) serving.MaximizeResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %q: status %d", body, resp.StatusCode)
+		}
+		var out serving.MaximizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
 	}
 
-	warm := postMaximize(t, ts, `{"k":8,"epsilon":0.3}`)
-	if !warm.Warm {
-		t.Fatal("repeated query did not report warm")
+	cold := post(`{"k":8,"epsilon":0.3}`)
+	if cold.Tenant != "default" || len(cold.Seeds) != 8 || cold.Warm {
+		t.Fatalf("cold: tenant %q seeds %d warm %v", cold.Tenant, len(cold.Seeds), cold.Warm)
 	}
-	if len(warm.Seeds) != len(cold.Seeds) {
-		t.Fatalf("warm seeds %v != cold seeds %v", warm.Seeds, cold.Seeds)
+	warm := post(`{"k":8,"epsilon":0.3}`)
+	if !warm.Warm || len(warm.Seeds) != 8 {
+		t.Fatalf("repeat not warm: %+v", warm)
 	}
 	for i := range warm.Seeds {
 		if warm.Seeds[i] != cold.Seeds[i] {
 			t.Fatalf("warm seeds %v != cold seeds %v", warm.Seeds, cold.Seeds)
 		}
 	}
-	if warm.Samples != cold.Samples || warm.Influence != cold.Influence {
-		t.Fatalf("warm result drifted: samples %d vs %d, influence %v vs %v",
-			warm.Samples, cold.Samples, warm.Influence, cold.Influence)
+	if extra := post(`{"tenant":"extra","k":5,"epsilon":0.35}`); extra.Tenant != "extra" || len(extra.Seeds) != 5 {
+		t.Fatalf("extra tenant: %+v", extra)
 	}
-
-	// A refined query (larger k) reuses the stream; SSA shares it too.
-	bigger := postMaximize(t, ts, `{"k":12,"epsilon":0.3}`)
-	if len(bigger.Seeds) != 12 {
-		t.Fatalf("refined: got %d seeds, want 12", len(bigger.Seeds))
-	}
-	ssa := postMaximize(t, ts, `{"k":8,"epsilon":0.3,"algorithm":"ssa"}`)
-	if len(ssa.Seeds) != 8 {
-		t.Fatalf("ssa: got %d seeds, want 8", len(ssa.Seeds))
-	}
-}
-
-// TestServeStats checks the stats endpoint reports the session snapshot
-// with plan and store bytes separated.
-func TestServeStats(t *testing.T) {
-	_, ts := testServer(t)
-	postMaximize(t, ts, `{"k":5,"epsilon":0.3}`)
 
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st statsResponse
+	var st serving.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Nodes != 600 || st.Queries != 1 {
-		t.Fatalf("stats: nodes=%d queries=%d", st.Nodes, st.Queries)
+	if st.Queries != 3 || len(st.Tenants) != 2 {
+		t.Fatalf("stats: queries=%d tenants=%d", st.Queries, len(st.Tenants))
 	}
-	if st.Samples <= 0 || st.StoreBytes <= 0 {
-		t.Fatalf("stats: samples=%d store_bytes=%d", st.Samples, st.StoreBytes)
-	}
-	if st.PlanBytes <= 0 {
-		t.Fatalf("stats: plan kernel session should report plan bytes, got %d", st.PlanBytes)
-	}
-	if st.Solvers != 1 {
-		t.Fatalf("stats: solvers=%d, want 1", st.Solvers)
-	}
-	// The test server's graph lives on the heap: all its bytes are
-	// resident, none mapped.
-	if st.GraphResidentBytes <= 0 || st.GraphMappedBytes != 0 {
-		t.Fatalf("stats: graph bytes resident=%d mapped=%d, want resident>0 mapped=0",
-			st.GraphResidentBytes, st.GraphMappedBytes)
+	for _, ten := range st.Tenants {
+		if ten.Name == "extra" && ten.GraphMappedBytes == 0 && ten.GraphResidentBytes == 0 {
+			t.Fatalf("lazy .sasg tenant has no graph bytes after query: %+v", ten)
+		}
 	}
 }
 
-// TestServeStatsMappedGraph serves a graph opened from its .sasg mapping
-// and checks /stats reports the bytes on the mapped side of the split.
-func TestServeStatsMappedGraph(t *testing.T) {
-	g, err := stopandstare.GeneratePowerLaw(600, 3000, 2.1, 17)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join(t.TempDir(), "serve.sasg")
-	if err := g.WriteMappedFile(path); err != nil {
-		t.Fatal(err)
-	}
-	mg, err := stopandstare.OpenGraphFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		stopandstare.DropCachedPlans(mg)
-		mg.Close()
-	})
-	sess, err := stopandstare.NewSession(mg, stopandstare.IC, stopandstare.SessionOptions{Seed: 5, Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(newServer(mg, stopandstare.IC, sess).handler())
-	t.Cleanup(ts.Close)
-
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st statsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	if !mg.Mapped() {
-		t.Skip("no mmap on this platform; fallback accounting covered elsewhere")
-	}
-	if st.GraphMappedBytes != mg.Bytes() || st.GraphResidentBytes != 0 {
-		t.Fatalf("stats: graph bytes resident=%d mapped=%d, want 0/%d",
-			st.GraphResidentBytes, st.GraphMappedBytes, mg.Bytes())
-	}
-}
-
-// TestServeErrors checks malformed requests are rejected with JSON errors.
-func TestServeErrors(t *testing.T) {
-	_, ts := testServer(t)
-	for _, tc := range []struct {
-		body string
-		want int
-	}{
-		{`{`, http.StatusBadRequest},                         // malformed JSON
-		{`{"k":0}`, http.StatusBadRequest},                   // invalid k
-		{`{"k":5,"algorithm":"imm"}`, http.StatusBadRequest}, // non-session algorithm
+func TestBuildManagerErrors(t *testing.T) {
+	for name, o := range map[string]options{
+		"no source":  {model: "IC", kernel: "plan"},
+		"bad model":  {preset: "nethept", scale: 0.02, model: "XX", kernel: "plan"},
+		"bad kernel": {preset: "nethept", scale: 0.02, model: "IC", kernel: "warp"},
+		"bad budget": {preset: "nethept", scale: 0.02, model: "IC", kernel: "plan", budget: "lots"},
+		"bad tenant": {preset: "nethept", scale: 0.02, model: "IC", kernel: "plan", tenants: "x"},
 	} {
-		resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(tc.body))
+		if _, _, err := buildManager(o); err == nil {
+			t.Errorf("%s: buildManager accepted %+v", name, o)
+		}
+	}
+}
+
+// TestServeAndDrain checks graceful shutdown end to end: a signal stops
+// the listener but the in-flight request — held mid-execution on a gate —
+// still completes before serveAndDrain returns.
+func TestServeAndDrain(t *testing.T) {
+	gate := make(chan struct{})
+	mgr := serving.NewManager(serving.Config{
+		MaxInFlight: 2,
+		OnExecute:   func(string) { <-gate },
+	})
+	t.Cleanup(mgr.Close)
+	g, err := stopandstare.GeneratePowerLaw(400, 2000, 2.1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.AddTenant("solo", serving.TenantConfig{
+		Graph: g, Model: stopandstare.IC,
+		Session: stopandstare.SessionOptions{Seed: 7, Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: serving.NewServer(mgr, serving.ServerConfig{}).Handler()}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveAndDrain(hs, ln, 30*time.Second, sig) }()
+	url := "http://" + ln.Addr().String()
+
+	// Park one request mid-execution.
+	held := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url+"/maximize", "application/json",
+			strings.NewReader(`{"k":5,"epsilon":0.35}`))
 		if err != nil {
-			t.Fatal(err)
+			held <- -1
+			return
 		}
 		resp.Body.Close()
-		if resp.StatusCode != tc.want {
-			t.Fatalf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
-		}
+		held <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Stats().InFlight < 1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
 	}
-	resp, err := http.Get(ts.URL + "/maximize")
-	if err != nil {
-		t.Fatal(err)
+
+	// Deliver the "signal": shutdown starts, the listener closes, but
+	// serveAndDrain keeps waiting on the held request.
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		t.Fatalf("serveAndDrain returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /maximize: status %d, want 405", resp.StatusCode)
+
+	close(gate)
+	if code := <-held; code != http.StatusOK {
+		t.Fatalf("held request finished with %d during drain", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serveAndDrain: %v", err)
+	}
+	// The listener is gone: new connections are refused.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
 	}
 }

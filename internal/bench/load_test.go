@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadSuiteSmoke runs the serving load suite at CI scale and checks
+// the report invariants the jq guards rely on: every named run present,
+// percentiles ordered, the concurrent-coalescing run collapsing to one
+// execution with no extra store top-ups, and the overload run shedding
+// 429s without a single transport error.
+func TestLoadSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load suite spins up HTTP stacks; skipped in -short")
+	}
+	path := filepath.Join(t.TempDir(), "load.json")
+	start := time.Now()
+	if err := WriteLoadJSON(path, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("smoke suite: %v", time.Since(start))
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "stopandstare-load/1" || !rep.Smoke {
+		t.Fatalf("report header: schema %q smoke %v", rep.Schema, rep.Smoke)
+	}
+
+	runs := map[string]LoadRun{}
+	for _, r := range rep.Runs {
+		runs[r.Name] = r
+	}
+	for _, name := range []string{"uniform", "zipf", "coalesce/serial", "coalesce/concurrent", "overload"} {
+		r, ok := runs[name]
+		if !ok {
+			t.Fatalf("run %q missing from report", name)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("run %q: %d transport errors", name, r.Errors)
+		}
+		if r.QPS <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("run %q: qps %v p50 %v p99 %v", name, r.QPS, r.P50Ms, r.P99Ms)
+		}
+	}
+
+	for _, name := range []string{"uniform", "zipf"} {
+		if r := runs[name]; r.Status["200"] != r.Queries {
+			t.Fatalf("%s: %d/%d OK (status %v)", name, r.Status["200"], r.Queries, r.Status)
+		}
+	}
+
+	co := runs["coalesce/concurrent"]
+	if co.Executed != 1 || co.Coalesced != int64(co.Queries-1) {
+		t.Fatalf("coalesce/concurrent: executed %d coalesced %d of %d queries",
+			co.Executed, co.Coalesced, co.Queries)
+	}
+	if co.Growths <= 0 || co.Growths != co.ColdGrowths {
+		t.Fatalf("coalesce/concurrent: growths %d vs cold %d", co.Growths, co.ColdGrowths)
+	}
+	ser := runs["coalesce/serial"]
+	if ser.Executed != int64(ser.Queries) || ser.Coalesced != 0 {
+		t.Fatalf("coalesce/serial: executed %d coalesced %d of %d queries",
+			ser.Executed, ser.Coalesced, ser.Queries)
+	}
+	if ser.Growths != ser.ColdGrowths {
+		// Identical repeats on a warm session never top up the store again.
+		t.Fatalf("coalesce/serial: growths %d vs cold %d", ser.Growths, ser.ColdGrowths)
+	}
+
+	ov := runs["overload"]
+	if ov.Status["429"] == 0 {
+		t.Fatalf("overload: no 429s (status %v)", ov.Status)
+	}
+	if ov.Status["200"] == 0 {
+		t.Fatalf("overload: nothing admitted (status %v)", ov.Status)
+	}
+}

@@ -1,0 +1,83 @@
+package serving
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded reports a request rejected at admission: the in-flight
+// limit is reached and the wait queue is full. The HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After header — the client should back
+// off and retry, nothing about the request itself is wrong.
+var ErrOverloaded = errors.New("serving: overloaded, wait queue full")
+
+// Limiter is the admission-control gate: at most inFlight requests execute
+// concurrently, at most queued more wait for a slot, and anything beyond
+// that is rejected immediately with ErrOverloaded. Bounding both numbers is
+// what makes overload degrade gracefully — rejected requests cost one
+// channel operation, not a goroutine parked on an unbounded queue and an
+// RR-store top-up the process has no memory for.
+//
+// A waiting request abandons the queue when its context expires, so a
+// per-request deadline bounds queue time; execution itself is not
+// cancelled (the underlying Session.Maximize is not preemptible), which is
+// why the in-flight bound matters.
+type Limiter struct {
+	slots chan struct{} // execution slots, cap = inFlight
+	queue chan struct{} // admitted (waiting + executing), cap = inFlight+queued
+}
+
+// NewLimiter builds a limiter admitting inFlight concurrent executions and
+// queued additional waiters. inFlight < 1 is raised to 1; queued < 0 is
+// treated as 0 (reject as soon as every slot is busy).
+func NewLimiter(inFlight, queued int) *Limiter {
+	if inFlight < 1 {
+		inFlight = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	return &Limiter{
+		slots: make(chan struct{}, inFlight),
+		queue: make(chan struct{}, inFlight+queued),
+	}
+}
+
+// Acquire admits the caller or fails fast: ErrOverloaded when the wait
+// queue is full, the context's error when the deadline expires while
+// queued. On nil return the caller holds an execution slot and must call
+// Release exactly once.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-l.queue
+		return ctx.Err()
+	}
+}
+
+// Release returns the caller's execution slot.
+func (l *Limiter) Release() {
+	<-l.slots
+	<-l.queue
+}
+
+// InFlight reports the number of requests currently executing.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Queued reports the number of admitted requests waiting for a slot.
+// Transient interleavings can make the difference momentarily negative;
+// it is clamped because a queue length below zero is meaningless.
+func (l *Limiter) Queued() int {
+	q := len(l.queue) - len(l.slots)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,102 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterRejectsWhenFull checks the fail-fast path: with no queue, a
+// second request is rejected while the slot is held and admitted after
+// release.
+func TestLimiterRejectsWhenFull(t *testing.T) {
+	l := NewLimiter(1, 0)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second acquire: %v, want ErrOverloaded", err)
+	}
+	if l.InFlight() != 1 {
+		t.Fatalf("in-flight %d, want 1", l.InFlight())
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l.Release()
+	if l.InFlight() != 0 || l.Queued() != 0 {
+		t.Fatalf("limiter not drained: in-flight %d queued %d", l.InFlight(), l.Queued())
+	}
+}
+
+// TestLimiterDeadlineWhileQueued checks a queued waiter gives up on its
+// deadline and releases its queue slot for later arrivals.
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: %v, want DeadlineExceeded", err)
+	}
+	// The abandoned waiter must have freed its queue slot: a fresh waiter
+	// fits, and gets the execution slot once the holder releases.
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(context.Background()) }()
+	time.Sleep(5 * time.Millisecond)
+	l.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after release: %v", err)
+	}
+	l.Release()
+}
+
+// TestLimiterBoundsConcurrency hammers the limiter and checks the
+// in-flight bound is never exceeded and every admitted caller completes.
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const inFlight, queued, callers = 3, 4, 64
+	l := NewLimiter(inFlight, queued)
+	var cur, peak, admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				rejected.Add(1)
+				return
+			}
+			admitted.Add(1)
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > inFlight {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, inFlight)
+	}
+	if admitted.Load()+rejected.Load() != callers {
+		t.Fatalf("admitted %d + rejected %d != %d", admitted.Load(), rejected.Load(), callers)
+	}
+	if admitted.Load() < inFlight+queued {
+		t.Fatalf("admitted %d, want at least capacity %d", admitted.Load(), inFlight+queued)
+	}
+	if l.InFlight() != 0 || l.Queued() != 0 {
+		t.Fatalf("limiter not drained: in-flight %d queued %d", l.InFlight(), l.Queued())
+	}
+}

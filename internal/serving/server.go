@@ -1,0 +1,273 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"stopandstare"
+)
+
+// maxRequestBytes bounds a /maximize request body: queries are a handful
+// of scalar fields, so anything past 1 MiB is garbage or abuse.
+const maxRequestBytes = 1 << 20
+
+// ServerConfig tunes the HTTP front end.
+type ServerConfig struct {
+	// DefaultTenant answers requests that omit "tenant". Empty selects the
+	// sole tenant when the manager holds exactly one, else requests must
+	// name one.
+	DefaultTenant string
+	// DefaultTimeout bounds a request's queue + coalesced wait when the
+	// body sets no timeout_ms (≤0 ⇒ 30s). Execution itself is not
+	// preempted; the admission gate bounds concurrent executions.
+	DefaultTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so serving
+	// hotspots are profilable under load. Off by default: the profile
+	// endpoints expose internals and cost CPU when scraped.
+	EnablePprof bool
+}
+
+// MaximizeRequest is the POST /maximize body.
+type MaximizeRequest struct {
+	Tenant    string  `json:"tenant,omitempty"`
+	K         int     `json:"k"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"` // "dssa" (default) or "ssa"
+	// TimeoutMS overrides the server's default wait deadline for this
+	// request (0 keeps the default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// MaximizeResponse mirrors stopandstare.Result plus serving metadata.
+type MaximizeResponse struct {
+	Tenant      string   `json:"tenant"`
+	Seeds       []uint32 `json:"seeds"`
+	Influence   float64  `json:"influence"`
+	Samples     int64    `json:"samples"`
+	Iterations  int      `json:"iterations"`
+	HitCap      bool     `json:"hit_cap,omitempty"`
+	MemoryBytes int64    `json:"memory_bytes"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+	// Warm reports whether this query was served without growing the RR
+	// store (pure selection over already-resident samples).
+	Warm bool `json:"warm"`
+	// Coalesced reports a response copied from a concurrent identical
+	// query's execution — bit-identical to running it, minus the cost.
+	Coalesced bool `json:"coalesced"`
+}
+
+// TenantStatsResponse is one tenant's entry in the GET /stats body.
+type TenantStatsResponse struct {
+	Name               string `json:"name"`
+	Resident           bool   `json:"resident"`
+	Nodes              int    `json:"nodes"`
+	Edges              int64  `json:"edges"`
+	Model              string `json:"model"`
+	Queries            int64  `json:"queries"`
+	Evictions          int64  `json:"evictions"`
+	Samples            int    `json:"samples"`
+	Items              int64  `json:"items"`
+	Growths            int64  `json:"growths"`
+	StoreBytes         int64  `json:"store_bytes"`
+	PlanBytes          int64  `json:"plan_bytes"`
+	GraphResidentBytes int64  `json:"graph_resident_bytes"`
+	GraphMappedBytes   int64  `json:"graph_mapped_bytes"`
+	Solvers            int    `json:"solvers"`
+}
+
+// StatsResponse is the GET /stats body: the manager-wide counters plus one
+// entry per tenant.
+type StatsResponse struct {
+	UptimeSec   float64               `json:"uptime_sec"`
+	Queries     int64                 `json:"queries"`
+	Executed    int64                 `json:"executed"`
+	Coalesced   int64                 `json:"coalesced"`
+	Rejected429 int64                 `json:"rejected_429"`
+	Timeout503  int64                 `json:"timeout_503"`
+	Evictions   int64                 `json:"evictions"`
+	StoreBytes  int64                 `json:"store_bytes"`
+	BudgetBytes int64                 `json:"budget_bytes"`
+	InFlight    int                   `json:"in_flight"`
+	Queued      int                   `json:"queued"`
+	Tenants     []TenantStatsResponse `json:"tenants"`
+}
+
+// Server exposes a Manager over JSON/HTTP. Endpoints:
+//
+//	POST /maximize  {"tenant":"a","k":50,"epsilon":0.1,"algorithm":"dssa","timeout_ms":2000}
+//	GET  /stats     manager + per-tenant snapshot
+//	GET  /healthz   liveness
+//
+// Backpressure surfaces as status codes: 429 (admission queue full) and
+// 503 (deadline expired while waiting), both with Retry-After, so an
+// overloaded server sheds load instead of accumulating it.
+type Server struct {
+	mgr   *Manager
+	cfg   ServerConfig
+	start time.Time
+}
+
+// NewServer wires a manager into an HTTP front end.
+func NewServer(mgr *Manager, cfg ServerConfig) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	return &Server{mgr: mgr, cfg: cfg, start: time.Now()}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/maximize", s.handleMaximize)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// resolveTenant maps an optional request tenant name onto the manager.
+func (s *Server) resolveTenant(req string) (string, error) {
+	if req != "" {
+		return req, nil
+	}
+	if s.cfg.DefaultTenant != "" {
+		return s.cfg.DefaultTenant, nil
+	}
+	names := s.mgr.Tenants()
+	if len(names) == 1 {
+		return names[0], nil
+	}
+	return "", fmt.Errorf("serving: %d tenants, request must name one", len(names))
+}
+
+func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req MaximizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	algo := stopandstare.DSSA
+	if req.Algorithm != "" {
+		a, err := stopandstare.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		algo = a
+	}
+	name, err := s.resolveTenant(req.Tenant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := s.mgr.Maximize(ctx, name, stopandstare.Query{
+		Algorithm: algo, K: req.K, Epsilon: req.Epsilon, Delta: req.Delta,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrUnknownTenant):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, MaximizeResponse{
+		Tenant:      name,
+		Seeds:       res.Seeds,
+		Influence:   res.InfluenceEstimate,
+		Samples:     res.Samples,
+		Iterations:  res.Iterations,
+		HitCap:      res.HitCap,
+		MemoryBytes: res.MemoryBytes,
+		ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1e3,
+		Warm:        res.Warm,
+		Coalesced:   res.Coalesced,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	st := s.mgr.Stats()
+	out := StatsResponse{
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Queries:     st.Queries,
+		Executed:    st.Executed,
+		Coalesced:   st.Coalesced,
+		Rejected429: st.Rejected,
+		Timeout503:  st.Deadlined,
+		Evictions:   st.Evictions,
+		StoreBytes:  st.StoreBytes,
+		BudgetBytes: st.BudgetBytes,
+		InFlight:    st.InFlight,
+		Queued:      st.Queued,
+		Tenants:     make([]TenantStatsResponse, 0, len(st.Tenants)),
+	}
+	for _, t := range st.Tenants {
+		out.Tenants = append(out.Tenants, TenantStatsResponse{
+			Name:               t.Name,
+			Resident:           t.Resident,
+			Nodes:              t.Nodes,
+			Edges:              t.Edges,
+			Model:              t.Model,
+			Queries:            t.Queries,
+			Evictions:          t.Evictions,
+			Samples:            t.Session.Samples,
+			Items:              t.Session.Items,
+			Growths:            t.Session.Growths,
+			StoreBytes:         t.Session.StoreBytes,
+			PlanBytes:          t.Session.PlanBytes,
+			GraphResidentBytes: t.Session.GraphResidentBytes,
+			GraphMappedBytes:   t.Session.GraphMappedBytes,
+			Solvers:            t.Session.Solvers,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

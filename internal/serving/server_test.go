@@ -1,0 +1,292 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stopandstare"
+)
+
+// newTestStack builds a manager with two heap-graph tenants behind an
+// httptest server.
+func newTestStack(t *testing.T, cfg Config, scfg ServerConfig) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(cfg)
+	t.Cleanup(m.Close)
+	for i, name := range []string{"alpha", "beta"} {
+		if err := m.AddTenant(name, TenantConfig{
+			Graph: testGraph(t, uint64(30+i)), Model: stopandstare.IC,
+			Session: stopandstare.SessionOptions{Seed: uint64(40 + i), Workers: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewServer(m, scfg).Handler())
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, MaximizeResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/maximize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out MaximizeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeTenantRouting checks tenant resolution: explicit names route,
+// an ambiguous omission is a 400, an unknown tenant is a 404, and the
+// configured default fills in.
+func TestServeTenantRouting(t *testing.T) {
+	_, ts := newTestStack(t, Config{}, ServerConfig{DefaultTenant: "beta"})
+	resp, out := post(t, ts, `{"tenant":"alpha","k":6,"epsilon":0.3}`)
+	if resp.StatusCode != http.StatusOK || out.Tenant != "alpha" || len(out.Seeds) != 6 {
+		t.Fatalf("alpha query: status %d tenant %q seeds %d", resp.StatusCode, out.Tenant, len(out.Seeds))
+	}
+	resp, out = post(t, ts, `{"k":6,"epsilon":0.3}`)
+	if resp.StatusCode != http.StatusOK || out.Tenant != "beta" {
+		t.Fatalf("default query: status %d tenant %q", resp.StatusCode, out.Tenant)
+	}
+	if resp, _ := post(t, ts, `{"tenant":"gamma","k":6}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant: status %d, want 404", resp.StatusCode)
+	}
+
+	// Without a default and two tenants, omission is ambiguous.
+	_, ts2 := newTestStack(t, Config{}, ServerConfig{})
+	if resp, _ := post(t, ts2, `{"k":6}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous tenant: status %d, want 400", resp.StatusCode)
+	}
+
+	st := getStats(t, ts)
+	if len(st.Tenants) != 2 || st.Tenants[0].Name != "alpha" || st.Tenants[1].Name != "beta" {
+		t.Fatalf("stats tenants: %+v", st.Tenants)
+	}
+	if st.Tenants[0].Samples <= 0 || st.Tenants[0].StoreBytes <= 0 || st.Tenants[0].Growths <= 0 {
+		t.Fatalf("alpha stats empty after query: %+v", st.Tenants[0])
+	}
+}
+
+// TestServeWarmAndCoalesced checks the serving metadata flags over HTTP:
+// a repeat is Warm, and concurrent identical queries come back with one
+// leader and a Coalesced follower.
+func TestServeWarmAndCoalesced(t *testing.T) {
+	var m *Manager
+	gate := make(chan struct{})
+	m = NewManager(Config{
+		MaxInFlight: 2,
+		OnExecute: func(string) {
+			<-gate // held open only during the coalescing phase below
+		},
+	})
+	t.Cleanup(m.Close)
+	if err := m.AddTenant("solo", TenantConfig{
+		Graph: testGraph(t, 33), Model: stopandstare.IC,
+		Session: stopandstare.SessionOptions{Seed: 44, Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(m, ServerConfig{}).Handler())
+	t.Cleanup(ts.Close)
+
+	const body = `{"k":7,"epsilon":0.3}`
+	type reply struct {
+		status int
+		out    MaximizeResponse
+	}
+	replies := make([]reply, 2)
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, out := post(t, ts, body)
+			replies[i] = reply{resp.StatusCode, out}
+		}(i)
+	}
+	// Release the leader once the follower has joined its flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Coalesced < 1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	var coalesced int
+	for _, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("concurrent query status %d", r.status)
+		}
+		if r.out.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != 1 {
+		t.Fatalf("%d coalesced replies, want exactly 1", coalesced)
+	}
+
+	_, warm := post(t, ts, body)
+	if !warm.Warm || warm.Coalesced {
+		t.Fatalf("repeat query: warm=%v coalesced=%v, want warm only", warm.Warm, warm.Coalesced)
+	}
+	if st := getStats(t, ts); st.Executed != 2 || st.Coalesced != 1 {
+		t.Fatalf("stats executed=%d coalesced=%d, want 2/1", st.Executed, st.Coalesced)
+	}
+}
+
+// TestServeBackpressure checks overload surfaces as 429 (queue full) and
+// 503 (deadline while queued), both with Retry-After, while the held
+// request still completes.
+func TestServeBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	m := NewManager(Config{
+		MaxInFlight: 1,
+		MaxQueued:   1,
+		OnExecute:   func(string) { <-gate },
+	})
+	t.Cleanup(m.Close)
+	if err := m.AddTenant("solo", TenantConfig{
+		Graph: testGraph(t, 35), Model: stopandstare.IC,
+		Session: stopandstare.SessionOptions{Seed: 46, Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(m, ServerConfig{}).Handler())
+	t.Cleanup(ts.Close)
+
+	// Request 1 occupies the only execution slot, parked on the gate.
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts, `{"k":4,"epsilon":0.35}`)
+		first <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().InFlight < 1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Request 2 (distinct, so it cannot coalesce) waits in the queue until
+	// its deadline: 503.
+	resp, _ := post(t, ts, `{"k":5,"epsilon":0.35,"timeout_ms":30}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued-past-deadline query: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Requests 2' and 3 together overflow: one queues, one is rejected
+	// outright with 429. Fire 2' asynchronously so it holds the queue slot.
+	queued := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, ts, `{"k":6,"epsilon":0.35}`)
+		queued <- resp.StatusCode
+	}()
+	for m.Stats().Queued < 1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	resp, _ = post(t, ts, `{"k":7,"epsilon":0.35}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full query: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Releasing the gate drains everything held: the first request and the
+	// queued one both succeed.
+	close(gate)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("held request finished with %d", code)
+	}
+	if code := <-queued; code != http.StatusOK {
+		t.Fatalf("queued request finished with %d", code)
+	}
+	st := getStats(t, ts)
+	if st.Rejected429 != 1 || st.Timeout503 != 1 {
+		t.Fatalf("stats rejected=%d timeout=%d, want 1/1", st.Rejected429, st.Timeout503)
+	}
+}
+
+// TestServePprofGate checks the profile endpoints exist only behind the
+// flag.
+func TestServePprofGate(t *testing.T) {
+	m := NewManager(Config{})
+	t.Cleanup(m.Close)
+	off := httptest.NewServer(NewServer(m, ServerConfig{}).Handler())
+	t.Cleanup(off.Close)
+	on := httptest.NewServer(NewServer(m, ServerConfig{EnablePprof: true}).Handler())
+	t.Cleanup(on.Close)
+
+	if resp, err := http.Get(off.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
+	}
+	if resp, err := http.Get(on.URL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeBadRequests mirrors the original imserve error tests against
+// the multi-tenant handler.
+func TestServeBadRequests(t *testing.T) {
+	_, ts := newTestStack(t, Config{}, ServerConfig{DefaultTenant: "alpha"})
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},                         // malformed JSON
+		{`{"k":0}`, http.StatusBadRequest},                   // invalid k
+		{`{"k":5,"algorithm":"imm"}`, http.StatusBadRequest}, // non-session algorithm
+	} {
+		resp, _ := post(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("POST %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/maximize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /maximize: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,116 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"stopandstare"
+)
+
+// TestManagerStress hammers one manager with several tenants, duplicate
+// (coalescable) and distinct queries, a byte budget tight enough to force
+// evictions throughout, and concurrent Stats snapshots — then checks every
+// single response equals its cold single-tenant oracle. CI runs the test
+// step under -race, so this is the locking-discipline proof for the
+// manager (flights × limiter × eviction × lazy session builds) on top of
+// the determinism proof.
+func TestManagerStress(t *testing.T) {
+	const tenants = 3
+	m := NewManager(Config{
+		// Roughly one resident store's worth: queries keep shoving each
+		// other's tenants out, so re-admission runs constantly.
+		BudgetBytes: 64 << 10,
+		MaxInFlight: 8,
+	})
+	defer m.Close()
+
+	graphs := make([]*stopandstare.Graph, tenants)
+	opts := make([]stopandstare.SessionOptions, tenants)
+	for i := range graphs {
+		graphs[i] = testGraph(t, uint64(50+i))
+		opts[i] = stopandstare.SessionOptions{Seed: uint64(60 + i), Workers: 2}
+		if err := m.AddTenant(fmt.Sprintf("t%d", i), TenantConfig{
+			Graph: graphs[i], Model: stopandstare.IC, Session: opts[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type job struct {
+		tenant int
+		algo   stopandstare.Algorithm
+		k      int
+		eps    float64
+	}
+	var jobs []job
+	for ti := 0; ti < tenants; ti++ {
+		jobs = append(jobs,
+			job{ti, stopandstare.DSSA, 4, 0.35},
+			job{ti, stopandstare.DSSA, 7, 0.3},
+			job{ti, stopandstare.SSA, 4, 0.35},
+		)
+	}
+	const replicas = 3 // duplicates exercise coalescing and solver races
+	results := make([][]*stopandstare.Result, len(jobs))
+	for i := range results {
+		results[i] = make([]*stopandstare.Result, replicas)
+	}
+
+	var wg sync.WaitGroup
+	for ji, j := range jobs {
+		for rep := 0; rep < replicas; rep++ {
+			wg.Add(1)
+			go func(ji, rep int, j job) {
+				defer wg.Done()
+				res, err := m.Maximize(context.Background(), fmt.Sprintf("t%d", j.tenant),
+					stopandstare.Query{Algorithm: j.algo, K: j.k, Epsilon: j.eps})
+				if err != nil {
+					t.Errorf("job %d rep %d: %v", ji, rep, err)
+					return
+				}
+				results[ji][rep] = res
+			}(ji, rep, j)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				st := m.Stats()
+				if st.StoreBytes < 0 || st.Queries < 0 {
+					t.Errorf("stats snapshot corrupt: %+v", st)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for ji, j := range jobs {
+		ctx := fmt.Sprintf("job %d (t%d %s k=%d eps=%v)", ji, j.tenant, j.algo, j.k, j.eps)
+		cold, err := stopandstare.Maximize(graphs[j.tenant], stopandstare.IC, j.algo, stopandstare.Options{
+			K: j.k, Epsilon: j.eps, Seed: opts[j.tenant].Seed, Workers: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: cold oracle: %v", ctx, err)
+		}
+		for rep, res := range results[ji] {
+			sameAnswer(t, fmt.Sprintf("%s rep %d", ctx, rep), res, cold)
+		}
+	}
+
+	st := m.Stats()
+	if st.Queries != int64(len(jobs)*replicas) {
+		t.Fatalf("queries %d, want %d", st.Queries, len(jobs)*replicas)
+	}
+	if st.Executed+st.Coalesced != st.Queries {
+		t.Fatalf("executed %d + coalesced %d != queries %d", st.Executed, st.Coalesced, st.Queries)
+	}
+	t.Logf("stress: executed=%d coalesced=%d evictions=%d", st.Executed, st.Coalesced, st.Evictions)
+}

@@ -56,6 +56,7 @@ type Session struct {
 	solverLRU []int
 	marks     sync.Pool // *epoch.Marks, per-query coverage scratch
 	queries   atomic.Int64
+	growths   atomic.Int64
 }
 
 // sessionSolverLimit bounds the per-k solver cache. Each solver costs
@@ -121,6 +122,12 @@ type Query struct {
 type SessionStats struct {
 	// Queries is the number of Maximize calls served.
 	Queries int64
+	// Growths is the number of write-locked store top-ups taken: how many
+	// times a query found the stream too short and generated RR sets. The
+	// serving layer's request coalescing is pinned against this counter —
+	// N concurrent identical queries must grow the store exactly as often
+	// as one query alone.
+	Growths int64
 	// Samples is the number of RR sets resident in the store.
 	Samples int
 	// Items is the total number of node entries across resident RR sets.
@@ -256,6 +263,7 @@ func (s *Session) Stats() SessionStats {
 	s.solMu.Unlock()
 	return SessionStats{
 		Queries:            s.queries.Load(),
+		Growths:            s.growths.Load(),
 		Samples:            samples,
 		Items:              items,
 		StoreBytes:         total - plan, // Store.Bytes includes the shared plan
@@ -317,6 +325,9 @@ func (e sessionEnv) Ensure(target int) bool {
 	grew := s.store.Len() < target // another query may have topped up first
 	s.store.GenerateTo(target)
 	s.mu.Unlock()
+	if grew {
+		s.growths.Add(1)
+	}
 	return grew
 }
 

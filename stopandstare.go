@@ -175,6 +175,15 @@ type Result struct {
 	// RR samples (no store growth; SSA's ephemeral verification samples
 	// don't count). Always false for one-shot Maximize calls.
 	Warm bool
+	// Coalesced reports a query answered by joining another identical
+	// in-flight query's execution instead of running its own: the
+	// multi-tenant serving manager (internal/serving) folds concurrent
+	// identical (algorithm, k, ε, δ) requests on one session into a single
+	// execution, and every follower gets the leader's result with this flag
+	// set. Because results are deterministic in the session seed, a
+	// coalesced response is bit-identical to the one the follower would
+	// have computed itself. Always false for direct Session/Maximize calls.
+	Coalesced bool
 }
 
 func (o Options) fill() Options {
