@@ -8,6 +8,7 @@
 //	imserve -graph nethept.sasg -model IC -addr :8377
 //	imserve -preset nethept -scale 0.5 -model LT
 //	imserve -tenants 'acme=acme.sasg,globex=globex.ssg' -budget 2GiB
+//	imserve -graph nethept.sasg -workers 127.0.0.1:8378,127.0.0.1:8379
 //
 //	curl -s localhost:8377/maximize -d '{"k":50,"epsilon":0.1}'
 //	curl -s localhost:8377/maximize -d '{"tenant":"acme","k":50}'
@@ -52,14 +53,15 @@ import (
 // options collects the flag values; split from main so tests build the
 // same stack without flags or sockets.
 type options struct {
-	graphPath string
-	preset    string
-	scale     float64
-	model     string
-	seed      uint64
-	workers   int
-	shards    int
-	kernel    string
+	graphPath     string
+	preset        string
+	scale         float64
+	model         string
+	seed          uint64
+	workers       int
+	shards        int
+	remoteWorkers string // imworker addresses, "host:port,host:port"
+	kernel        string
 
 	tenants       string // extra tenants, "name=path,name=path"
 	defaultTenant string
@@ -96,6 +98,17 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("negative size %q", s)
 	}
 	return n * mult, nil
+}
+
+// parseWorkers splits a comma-separated imworker address list.
+func parseWorkers(s string) []string {
+	var addrs []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			addrs = append(addrs, part)
+		}
+	}
+	return addrs
 }
 
 // tenantSpec is one -tenants entry: a named graph file, opened lazily.
@@ -150,6 +163,7 @@ func buildManager(o options) (*serving.Manager, serving.ServerConfig, error) {
 	}
 	sessOpts := stopandstare.SessionOptions{
 		Seed: o.seed, Workers: o.workers, Shards: o.shards, Kernel: krn,
+		RemoteWorkers: parseWorkers(o.remoteWorkers),
 	}
 
 	mgr := serving.NewManager(serving.Config{
@@ -232,8 +246,9 @@ func main() {
 	flag.Float64Var(&o.scale, "scale", 1.0, "preset scale multiplier")
 	flag.StringVar(&o.model, "model", "IC", "propagation model: IC or LT")
 	flag.Uint64Var(&o.seed, "seed", 1, "session RR-stream seed")
-	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "sampling workers per session")
+	flag.IntVar(&o.workers, "sampling-workers", runtime.NumCPU(), "sampling workers per session")
 	flag.IntVar(&o.shards, "shards", 0, "RR-store shards (>=1 = id-sharded store)")
+	flag.StringVar(&o.remoteWorkers, "workers", "", "imworker shard-worker addresses, comma-separated (host:port or unix:/path); one RR-store shard per worker process, overriding -shards")
 	flag.StringVar(&o.kernel, "kernel", "plan", "RR sampling kernel: plan or oracle")
 	flag.StringVar(&o.tenants, "tenants", "", "additional tenants as name=path,... (graph files opened lazily)")
 	flag.StringVar(&o.defaultTenant, "default-tenant", "", "tenant answering requests that omit one")

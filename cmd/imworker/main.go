@@ -1,0 +1,111 @@
+// Command imworker is a shard-worker process for cross-process RR-set
+// sharding: it opens a graph read-only and serves RR-set shards — arena +
+// CSR postings blocks — to imserve coordinators over a small framed RPC
+// protocol (generate / postings / coverage). A coordinator started with
+// `imserve -workers host:a,host:b` keeps one shard per worker: sampling and
+// index memory live in the worker processes, the coordinator holds only the
+// mirror arenas its solvers scan.
+//
+//	imworker -graph nethept.sasg -addr 127.0.0.1:8378
+//	imworker -graph nethept.sasg -unix /tmp/imworker.sock
+//	imserve  -graph nethept.sasg -workers 127.0.0.1:8378,127.0.0.1:8379
+//
+// Workers are stateless-recoverable: a shard's contents are a pure function
+// of its spec and the deterministic (seed, id) PRNG streams, so a restarted
+// worker is driven back to the coordinator's state by replay — results stay
+// bit-identical to a single-process store. Use a mapped .sasg graph so all
+// workers on a host share one set of graph pages.
+//
+// SIGINT/SIGTERM close the listeners and sever connections; coordinators
+// reconnect with backoff and resume when the worker returns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"stopandstare"
+	"stopandstare/internal/ris"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (pages shared across workers)")
+		preset    = flag.String("preset", "", "synthetic preset graph (see imgen); alternative to -graph")
+		scale     = flag.Float64("scale", 1.0, "preset scale multiplier")
+		genSeed   = flag.Uint64("gen-seed", 1, "preset generation seed (must match the coordinator's)")
+		addr      = flag.String("addr", "127.0.0.1:8378", "TCP listen address (empty = none)")
+		unixPath  = flag.String("unix", "", "unix socket path to listen on (empty = none)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "sampling workers for shards that request the worker default")
+		maxShards = flag.Int("max-shards", 64, "resident shard-state cap; least-recently-used states beyond it are dropped and rebuilt by replay")
+	)
+	flag.Parse()
+
+	var g *stopandstare.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = stopandstare.OpenGraphFile(*graphPath)
+	case *preset != "":
+		g, err = stopandstare.GeneratePreset(*preset, *scale, *genSeed)
+	default:
+		err = fmt.Errorf("need -graph or -preset")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := ris.NewShardServer(g, ris.ShardServerOptions{
+		SamplingWorkers: *workers, MaxShards: *maxShards,
+	})
+	errc := make(chan error, 1)
+	listening := 0
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("imworker: %d nodes, serving shards on %s", g.NumNodes(), ln.Addr())
+		go func() { errc <- srv.Serve(ln) }()
+		listening++
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) // a previous run's stale socket refuses rebinds
+		ln, err := net.Listen("unix", *unixPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("imworker: %d nodes, serving shards on unix:%s", g.NumNodes(), *unixPath)
+		go func() { errc <- srv.Serve(ln) }()
+		listening++
+	}
+	if listening == 0 {
+		fmt.Fprintln(os.Stderr, "imworker: need -addr or -unix")
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("imworker: %v received, closing", s)
+		srv.Close()
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -148,6 +149,25 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			c.Generate(streamLen)
 		}
 	})
+	// Remote pair: the sharded1 workload pushed through the cross-process
+	// wire protocol — an in-process ShardServer dialed over net.Pipe, so the
+	// delta against generate/sharded1 is pure protocol cost (framing, chunk
+	// encode/decode, mirror append) without kernel sockets.
+	remoteSrv := ris.NewShardServer(g, ris.ShardServerOptions{})
+	remoteDial := func(string) (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go remoteSrv.ServeConn(c2)
+		return c1, nil
+	}
+	add("generate/remote1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := ris.NewStore(s, uint64(i)+seed+100, ris.StoreOptions{
+				RemoteWorkers: []string{"pipe"}, RemoteDial: remoteDial,
+			})
+			c.Generate(streamLen)
+		}
+	})
 	// Kernel pairs: plan vs oracle, 1 worker, identical workloads.
 	genKernel := func(name string, smp *ris.Sampler, k ris.Kernel, n int) {
 		add(name, func(b *testing.B) {
@@ -178,6 +198,22 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			col.CoverageRangeSeeds(seeds, half, col.Len())
+		}
+	})
+	// Remote coverage: the same window counted worker-side from the worker's
+	// CSR blocks — one RPC shipping seed ids and one i64 back, never arenas.
+	// The identity probe pins it to the flat count before timing.
+	remoteCol := ris.NewStore(s, seed+1, ris.StoreOptions{
+		RemoteWorkers: []string{"pipe"}, RemoteDial: remoteDial,
+	})
+	remoteCol.GenerateTo(col.Len())
+	if got, want := remoteCol.CoverageRangeSeeds(seeds, half, col.Len()), col.CoverageRangeSeeds(seeds, half, col.Len()); got != want {
+		return nil, fmt.Errorf("bench: remote coverage %d drifted from flat %d", got, want)
+	}
+	add("coverage_range/remote", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			remoteCol.CoverageRangeSeeds(seeds, half, col.Len())
 		}
 	})
 	add("budget_sweep/rescan", func(b *testing.B) {

@@ -65,14 +65,15 @@ func DSSAWith(opt Options, env Exec) (*Result, error) {
 		half := boundedShift(halfUnit, t-1) // |R_t| = Λ·2^(t−1)
 		streamLen = 2 * half
 		res.Grew = env.Ensure(streamLen) || res.Grew // lines 6–7: R_t ++ R^c_t
-		env.Acquire()
-		// Line 8: candidate from the first half.
-		mc = env.Solve(half, opt.K)
-		// Index-driven verification: Cov over the holdout R^c_t is a union
-		// walk of the candidates' postings in [half, 2·half) — O(Σ seed
-		// postings in the window), not a rescan of the window's RR sets.
-		covC := env.Coverage(mc.Seeds, half, streamLen)
-		env.Release()
+		var covC int64
+		locked(env, func() {
+			// Line 8: candidate from the first half.
+			mc = env.Solve(half, opt.K)
+			// Index-driven verification: Cov over the holdout R^c_t is a union
+			// walk of the candidates' postings in [half, 2·half) — O(Σ seed
+			// postings in the window), not a rescan of the window's RR sets.
+			covC = env.Coverage(mc.Seeds, half, streamLen)
+		})
 		iHat := mc.Influence(scale)
 		passed := false
 		// Line 9: condition D1 — stopping-rule check on the holdout.
@@ -110,9 +111,7 @@ func DSSAWith(opt Options, env Exec) (*Result, error) {
 	res.CoverageSamples = int64(streamLen)
 	res.VerifySamples = 0 // the verification half is reused, never discarded
 	res.TotalSamples = res.CoverageSamples
-	env.Acquire()
-	res.MemoryBytes = env.Store().Bytes()
-	env.Release()
+	locked(env, func() { res.MemoryBytes = env.Store().Bytes() })
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

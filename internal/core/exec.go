@@ -46,6 +46,17 @@ type Exec interface {
 	Coverage(seeds []uint32, from, to int) int64
 }
 
+// locked runs f between Acquire and Release, releasing on panic as well.
+// The Store interface is error-free, so a remote-sharded store escapes
+// worker failures as *ris.ShardError panics (recovered at the Session
+// surface); without the deferred release such a panic would leak a serving
+// session's read lock and deadlock every later query.
+func locked(env Exec, f func()) {
+	env.Acquire()
+	defer env.Release()
+	f()
+}
+
 // soloExec is the one-shot environment: a private store and one
 // incremental solver, no locking. SSA and DSSA build one per run.
 type soloExec struct {

@@ -54,6 +54,16 @@ type Options struct {
 	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1;
 	// ≤0 derives max(1, Workers/Shards) so the total worker budget holds.
 	ShardWorkers int
+	// RemoteWorkers lists shard-worker addresses; non-empty stores RR sets
+	// in a remote-sharded store (one shard per worker process), overriding
+	// Shards. Results remain bit-identical to every in-process topology.
+	RemoteWorkers []string
+	// RemoteDial overrides the remote-shard transport (tests inject
+	// net.Pipe-backed dialers).
+	RemoteDial ris.DialFunc
+	// RemoteTimeout bounds one remote-shard RPC exchange; ≤0 selects
+	// ris.DefaultRemoteTimeout.
+	RemoteTimeout time.Duration
 	// OptLowerBound is a known lower bound on OPT_k used only to size the
 	// Nmax safety cap. Defaults to K for IM (each seed influences at least
 	// itself); the TVM wrapper passes the top-K benefit sum.
@@ -161,10 +171,13 @@ func (o *Options) normalize(s *ris.Sampler) error {
 }
 
 // newStore builds the RR-set store the options describe: flat for
-// Shards ≤ 1, sharded otherwise. Both are bit-identical in results.
+// Shards ≤ 1, sharded otherwise, remote-sharded when RemoteWorkers is set.
+// All are bit-identical in results.
 func (o *Options) newStore(s *ris.Sampler) ris.Store {
 	return ris.NewStore(s, o.Seed, ris.StoreOptions{
 		Workers: o.Workers, Shards: o.Shards, ShardWorkers: o.ShardWorkers,
+		RemoteWorkers: o.RemoteWorkers, RemoteDial: o.RemoteDial,
+		RemoteTimeout: o.RemoteTimeout,
 	})
 }
 

@@ -74,10 +74,8 @@ func SSAWith(opt Options, env Exec) (*Result, error) {
 		// Line 6: double the size of R.
 		size = boundedDouble(size)
 		res.Grew = env.Ensure(size) || res.Grew
-		env.Acquire()
 		// Line 7: find the candidate solution.
-		mc = env.Solve(size, opt.K)
-		env.Release()
+		locked(env, func() { mc = env.Solve(size, opt.K) })
 		iHat := mc.Influence(scale)
 		passed := false
 		// Line 8: condition C1 — enough coverage to bound Î(S*_k).
@@ -110,9 +108,7 @@ func SSAWith(opt Options, env Exec) (*Result, error) {
 	res.CoverageSamples = int64(size)
 	res.VerifySamples = est.total
 	res.TotalSamples = res.CoverageSamples + res.VerifySamples
-	env.Acquire()
-	res.MemoryBytes = env.Store().Bytes()
-	env.Release()
+	locked(env, func() { res.MemoryBytes = env.Store().Bytes() })
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -68,8 +68,13 @@ func coverageRangeSeeds(st Store, m *epoch.Marks, seeds []uint32, from, to int) 
 // the union walk dedupes ids through m instead of the store-owned mark set.
 // This is the concurrency-safe form the serving layer uses — any number of
 // read-only queries may walk one store in parallel as long as each brings
-// its own marks (and no Generate runs concurrently).
+// its own marks (and no Generate runs concurrently). A remote-sharded store
+// counts worker-side instead (per-shard marks, serialized per connection),
+// which needs no caller scratch and stays safe for concurrent readers.
 func CoverageRangeSeedsMarks(st Store, m *epoch.Marks, seeds []uint32, from, to int) int64 {
+	if sc, ok := st.(*ShardedCollection); ok && sc.remotes != nil {
+		return sc.remoteCoverageSeeds(seeds, from, to)
+	}
 	return coverageRangeSeeds(st, m, seeds, from, to)
 }
 

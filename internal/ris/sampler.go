@@ -27,12 +27,13 @@ import (
 // sets while preserving every determinism invariant: RR set i is a pure
 // function of (kernel, seed, i) for any worker, shard, or store topology.
 type Sampler struct {
-	g      *graph.Graph
-	model  diffusion.Model
-	root   *rng.Alias // nil ⇒ uniform root
-	scale  float64    // n for RIS, Γ for WRIS
-	pc     *planCache // lazily compiled, shared across WithKernel copies
-	kernel Kernel
+	g       *graph.Graph
+	model   diffusion.Model
+	root    *rng.Alias // nil ⇒ uniform root
+	weights []float64  // WRIS benefit weights; retained so remote shards can rebuild the alias table
+	scale   float64    // n for RIS, Γ for WRIS
+	pc      *planCache // lazily compiled, shared across WithKernel copies
+	kernel  Kernel
 }
 
 // ErrNilGraph reports a missing graph.
@@ -64,7 +65,7 @@ func NewWeightedSampler(g *graph.Graph, model diffusion.Model, weights []float64
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{g: g, model: model, root: al, scale: al.Total(),
+	return &Sampler{g: g, model: model, root: al, weights: weights, scale: al.Total(),
 		pc: sharedPlanCache(g, model)}, nil
 }
 

@@ -321,6 +321,7 @@ func (sg *segment) buildBlockParallel(from, to int, starts, ids []int32, workers
 // (still disjoint, but interleaved in global id across shards). No consumer
 // of the Store interface may rely on cross-run ordering.
 type Postings struct {
+	pre    [][]int32  // pre-fetched runs (remote shards), drained first
 	blocks []csrBlock // blocks of the segment currently being walked
 	more   []*segment // remaining segments (sharded stores only)
 	v      uint32
@@ -334,6 +335,14 @@ type Postings struct {
 // no allocation.
 func (p *Postings) Next() ([]int32, bool) {
 	for {
+		if len(p.pre) > 0 {
+			run := p.pre[0]
+			p.pre = p.pre[1:]
+			if len(run) > 0 {
+				return run, true
+			}
+			continue
+		}
 		for p.bi < len(p.blocks) {
 			b := &p.blocks[p.bi]
 			if b.from >= p.upto {

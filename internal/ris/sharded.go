@@ -1,9 +1,11 @@
 package ris
 
 import (
+	"fmt"
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"stopandstare/internal/epoch"
 )
@@ -30,14 +32,23 @@ import (
 // iterator simply walks the shards in turn. Consumers of the Store
 // interface are order-insensitive across runs (see Store), so no k-way
 // merge is needed on the hot path.
+//
+// Shards may also live in other processes: with remotes non-nil, shard s is
+// proxied by a RemoteShard client and segs[s] is the mirror arena its
+// Generate stream fills (see RemoteShard). Set/ForEachSet/CoverageRange are
+// served from the mirrors exactly as in-process; Generate, PostingsRange
+// and CoverageRangeSeeds fan out to the workers. Bit-identity holds by the
+// same argument as in-process sharding — set content depends only on the
+// global id — and the differential harness proves it per topology.
 type ShardedCollection struct {
 	sampler      *Sampler
 	seed         uint64
 	shardWorkers int
 
-	segs   []*segment
-	epochs []genEpoch
-	length int
+	segs    []*segment
+	remotes []*RemoteShard // nil ⇒ all shards in-process
+	epochs  []genEpoch
+	length  int
 
 	covMark epoch.Marks // visited ids for CoverageRangeSeeds, grows to Len()
 }
@@ -81,8 +92,64 @@ func NewShardedCollection(s *Sampler, seed uint64, shards, shardWorkers int) *Sh
 	return sc
 }
 
+// NewRemoteShardedCollection creates an empty remote-sharded store with one
+// shard per worker address in opt.RemoteWorkers. Workers are dialed lazily
+// on first use (opt.RemoteDial overrides the transport; tests inject
+// net.Pipe). The per-shard mirror segments hold the arena only — CSR blocks
+// live worker-side.
+func NewRemoteShardedCollection(s *Sampler, seed uint64, opt StoreOptions) *ShardedCollection {
+	addrs := opt.RemoteWorkers
+	S := len(addrs)
+	sc := &ShardedCollection{
+		sampler:      s,
+		seed:         seed,
+		shardWorkers: 1, // mirrors never sample; parallelism lives worker-side
+		segs:         make([]*segment, S),
+		remotes:      make([]*RemoteShard, S),
+	}
+	n := s.g.NumNodes()
+	dial := opt.RemoteDial
+	if dial == nil {
+		dial = defaultDial
+	}
+	timeout := opt.RemoteTimeout
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	workers := opt.ShardWorkers
+	if workers < 0 {
+		workers = 0 // worker-side default
+	}
+	spec := shardSpec{
+		n:       uint32(n),
+		model:   uint8(s.model),
+		kernel:  uint8(s.kernel),
+		seed:    seed,
+		workers: uint32(workers),
+		weights: s.weights,
+	}
+	instance := nextShardInstance()
+	for i := range sc.segs {
+		sc.segs[i] = newSegment(n)
+		sc.segs[i].gids = []int32{}
+		sc.remotes[i] = &RemoteShard{
+			addr:    addrs[i],
+			dial:    dial,
+			timeout: timeout,
+			key:     fmt.Sprintf("%x-%d/%d", instance, i, S),
+			spec:    spec,
+			seg:     sc.segs[i],
+			nonce:   instance,
+		}
+	}
+	return sc
+}
+
 // Sampler returns the store's sampler.
 func (sc *ShardedCollection) Sampler() *Sampler { return sc.sampler }
+
+// Remote reports whether the store's shards live in worker processes.
+func (sc *ShardedCollection) Remote() bool { return sc.remotes != nil }
 
 // Shards returns the number of shards.
 func (sc *ShardedCollection) Shards() int { return len(sc.segs) }
@@ -115,7 +182,10 @@ func (sc *ShardedCollection) NumNodes() int { return sc.sampler.g.NumNodes() }
 func (sc *ShardedCollection) Scale() float64 { return sc.sampler.scale }
 
 // Bytes reports the memory held across all shards plus the epoch table and
-// the sampler's compiled plan if one was built (shared, counted once).
+// the sampler's compiled plan if one was built (shared, counted once). For
+// a remote-sharded store this is the coordinator-resident footprint — the
+// mirror arenas — not the worker-side CSR blocks, which is exactly what a
+// coordinator's byte budget (serving eviction) should meter.
 func (sc *ShardedCollection) Bytes() int64 {
 	b := int64(sc.covMark.Cap())*4 + sc.sampler.PlanBytes()
 	for _, sg := range sc.segs {
@@ -246,28 +316,68 @@ func (sc *ShardedCollection) Generate(count int) {
 	for s := 0; s <= S; s++ {
 		e.bounds[s] = from + int(int64(count)*int64(s)/int64(S))
 	}
-	var wg sync.WaitGroup
 	for s := 0; s < S; s++ {
 		e.base[s] = sc.segs[s].nsets()
+	}
+	if sc.remotes != nil {
+		sc.generateRemote(&e)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < S; s++ {
+			glo, ghi := e.bounds[s], e.bounds[s+1]
+			if ghi <= glo {
+				continue
+			}
+			wg.Add(1)
+			go func(sg *segment, glo, ghi int) {
+				defer wg.Done()
+				lfrom := sg.nsets()
+				sg.appendResults(sampleChunks(sc.sampler, sc.seed, glo, ghi, sc.shardWorkers))
+				sg.gids = slices.Grow(sg.gids, ghi-glo)
+				for g := glo; g < ghi; g++ {
+					sg.gids = append(sg.gids, int32(g))
+				}
+				sg.appendIndexBlock(lfrom, sg.nsets(), sc.shardWorkers)
+			}(sc.segs[s], glo, ghi)
+		}
+		wg.Wait()
+	}
+	sc.epochs = append(sc.epochs, e)
+	sc.length = from + count
+}
+
+// generateRemote fans one epoch's shard sub-ranges out to the workers in
+// parallel. On any shard failure every mirror is rolled back to its
+// pre-call extent — the store's observable state is unchanged — and the
+// failure is raised as a *ShardError panic (see ShardError). Workers that
+// did append stay ahead of the mirror; the idempotent generate redelivery
+// and the nonce resync absorb that on the next attempt.
+func (sc *ShardedCollection) generateRemote(e *genEpoch) {
+	S := len(sc.remotes)
+	snaps := make([]segSnap, S)
+	errs := make([]error, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		snaps[s] = sc.remotes[s].snapshot()
 		glo, ghi := e.bounds[s], e.bounds[s+1]
 		if ghi <= glo {
 			continue
 		}
 		wg.Add(1)
-		go func(sg *segment, glo, ghi int) {
+		go func(s, glo, ghi int) {
 			defer wg.Done()
-			lfrom := sg.nsets()
-			sg.appendResults(sampleChunks(sc.sampler, sc.seed, glo, ghi, sc.shardWorkers))
-			sg.gids = slices.Grow(sg.gids, ghi-glo)
-			for g := glo; g < ghi; g++ {
-				sg.gids = append(sg.gids, int32(g))
-			}
-			sg.appendIndexBlock(lfrom, sg.nsets(), sc.shardWorkers)
-		}(sc.segs[s], glo, ghi)
+			errs[s] = sc.remotes[s].generate(glo, ghi)
+		}(s, glo, ghi)
 	}
 	wg.Wait()
-	sc.epochs = append(sc.epochs, e)
-	sc.length = from + count
+	for s, err := range errs {
+		if err != nil {
+			for i := range sc.remotes {
+				sc.remotes[i].restore(snaps[i])
+			}
+			shardPanic(sc.remotes[s].addr, "generate", err)
+		}
+	}
 }
 
 // PostingsUpto returns an iterator over the ids < upto of RR sets
@@ -278,13 +388,32 @@ func (sc *ShardedCollection) PostingsUpto(v uint32, upto int) Postings {
 
 // PostingsRange returns an iterator over the ids in [from, upto) of RR
 // sets containing v. Runs are ascending and disjoint; runs from different
-// shards interleave in global id (see Store). No allocation.
+// shards interleave in global id (see Store). No allocation for in-process
+// shards; remote shards answer from worker-local CSR blocks, so the runs
+// are fetched eagerly here (one RPC and one ascending run per worker) and
+// the iterator drains them.
 func (sc *ShardedCollection) PostingsRange(v uint32, from, upto int) Postings {
 	if from < 0 {
 		from = 0
 	}
 	if upto > sc.length {
 		upto = sc.length
+	}
+	if sc.remotes != nil {
+		if from >= upto {
+			return Postings{}
+		}
+		pre := make([][]int32, 0, len(sc.remotes))
+		for _, rs := range sc.remotes {
+			run, err := rs.postings(v, from, upto)
+			if err != nil {
+				shardPanic(rs.addr, "postings", err)
+			}
+			if len(run) > 0 {
+				pre = append(pre, run)
+			}
+		}
+		return Postings{pre: pre, v: v, from: from, upto: upto}
 	}
 	return Postings{more: sc.segs, v: v, from: from, upto: upto}
 }
@@ -304,9 +433,51 @@ func (sc *ShardedCollection) Coverage(seedMark []bool) int64 {
 // CoverageRangeSeeds counts the sets in [from, to) containing at least one
 // seed via per-shard postings walks merged through the shared epoch-stamped
 // mark set. Same scratch-reuse discipline as the flat store: calls must not
-// race each other or Generate.
+// race each other or Generate. Remote shards count worker-side — each walks
+// its own CSR blocks and dedupes with its own marks — and since shards own
+// disjoint global id ranges, the union count is the sum of shard counts and
+// no arena or postings data crosses the wire.
 func (sc *ShardedCollection) CoverageRangeSeeds(seeds []uint32, from, to int) int64 {
+	if sc.remotes != nil {
+		return sc.remoteCoverageSeeds(seeds, from, to)
+	}
 	return coverageRangeSeeds(sc, &sc.covMark, seeds, from, to)
+}
+
+// remoteCoverageSeeds fans the coverage count out to the workers in
+// parallel and sums the per-shard counts.
+func (sc *ShardedCollection) remoteCoverageSeeds(seeds []uint32, from, to int) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > sc.length {
+		to = sc.length
+	}
+	if from >= to || len(seeds) == 0 {
+		return 0
+	}
+	var total int64
+	errs := make([]error, len(sc.remotes))
+	var wg sync.WaitGroup
+	for s, rs := range sc.remotes {
+		wg.Add(1)
+		go func(s int, rs *RemoteShard) {
+			defer wg.Done()
+			cov, err := rs.coverageSeeds(seeds, from, to)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			atomic.AddInt64(&total, cov)
+		}(s, rs)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			shardPanic(sc.remotes[s].addr, "coverage", err)
+		}
+	}
+	return total
 }
 
 // CoverageSeeds counts Cov_R(S) over the whole stream via the index.

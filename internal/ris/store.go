@@ -1,6 +1,9 @@
 package ris
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // Store is the RR-set store surface that SSA, D-SSA, IMM, TIM/TIM+, the
 // max-coverage solvers and the TVM sweeps actually consume. The paper's
@@ -90,14 +93,30 @@ type StoreOptions struct {
 	Shards int
 	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1;
 	// ≤0 derives max(1, Workers/Shards) so the total worker budget holds.
+	// For remote shards this is the sampling parallelism requested on each
+	// worker (0 = the worker's own default).
 	ShardWorkers int
+	// RemoteWorkers lists shard-worker addresses ("host:port" TCP or
+	// "unix:/path"); non-empty selects a remote-sharded ShardedCollection
+	// with one shard per worker, and Shards is ignored. Results remain
+	// bit-identical to every in-process topology.
+	RemoteWorkers []string
+	// RemoteDial overrides the worker transport (tests inject net.Pipe).
+	RemoteDial DialFunc
+	// RemoteTimeout bounds one worker RPC exchange; ≤0 selects
+	// DefaultRemoteTimeout.
+	RemoteTimeout time.Duration
 }
 
 // NewStore builds the Store described by opt: the flat Collection for
-// Shards ≤ 0, ShardedCollection otherwise. Every implementation yields
-// bit-identical results for a fixed seed, so the choice is purely about
-// memory topology and generation parallelism.
+// Shards ≤ 0, ShardedCollection otherwise, remote-sharded when
+// RemoteWorkers is set. Every implementation yields bit-identical results
+// for a fixed seed, so the choice is purely about memory topology and
+// generation parallelism.
 func NewStore(s *Sampler, seed uint64, opt StoreOptions) Store {
+	if len(opt.RemoteWorkers) > 0 {
+		return NewRemoteShardedCollection(s, seed, opt)
+	}
 	if opt.Shards < 1 {
 		return NewCollection(s, seed, opt.Workers)
 	}

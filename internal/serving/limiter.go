@@ -3,6 +3,8 @@ package serving
 import (
 	"context"
 	"errors"
+	"sync/atomic"
+	"time"
 )
 
 // ErrOverloaded reports a request rejected at admission: the in-flight
@@ -25,6 +27,10 @@ var ErrOverloaded = errors.New("serving: overloaded, wait queue full")
 type Limiter struct {
 	slots chan struct{} // execution slots, cap = inFlight
 	queue chan struct{} // admitted (waiting + executing), cap = inFlight+queued
+	// waitEWMA smooths the slot waits admitted requests observed (ns,
+	// α = 1/8) — the signal behind EstimatedWait and the HTTP layer's
+	// Retry-After hints.
+	waitEWMA atomic.Int64
 }
 
 // NewLimiter builds a limiter admitting inFlight concurrent executions and
@@ -44,22 +50,59 @@ func NewLimiter(inFlight, queued int) *Limiter {
 }
 
 // Acquire admits the caller or fails fast: ErrOverloaded when the wait
-// queue is full, the context's error when the deadline expires while
-// queued. On nil return the caller holds an execution slot and must call
-// Release exactly once.
+// queue is full, the context's error when it is expired on arrival or
+// expires while queued. On nil return the caller holds an execution slot
+// and must call Release exactly once.
 func (l *Limiter) Acquire(ctx context.Context) error {
+	// Fail an already-expired context before it consumes queue capacity:
+	// without this check, a pre-cancelled request still enqueues, and the
+	// select below may admit it anyway — with a slot free, both cases are
+	// ready and the runtime picks one at random.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case l.queue <- struct{}{}:
 	default:
 		return ErrOverloaded
 	}
+	start := time.Now()
 	select {
 	case l.slots <- struct{}{}:
+		// Winning the slot race does not mean the deadline held: both
+		// cases can be ready at once. Honour the context over the slot.
+		if err := ctx.Err(); err != nil {
+			<-l.slots
+			<-l.queue
+			return err
+		}
+		l.observeWait(time.Since(start))
 		return nil
 	case <-ctx.Done():
 		<-l.queue
 		return ctx.Err()
 	}
+}
+
+// observeWait folds one admitted request's slot wait into the EWMA.
+func (l *Limiter) observeWait(d time.Duration) {
+	for {
+		old := l.waitEWMA.Load()
+		next := old + (int64(d)-old)/8
+		if old == 0 {
+			next = int64(d) // first observation seeds the average
+		}
+		if next == old || l.waitEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EstimatedWait reports the smoothed slot wait recently admitted requests
+// observed: how long a client arriving now can expect to queue. Zero until
+// the first admission.
+func (l *Limiter) EstimatedWait() time.Duration {
+	return time.Duration(l.waitEWMA.Load())
 }
 
 // Release returns the caller's execution slot.

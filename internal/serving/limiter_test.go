@@ -58,6 +58,58 @@ func TestLimiterDeadlineWhileQueued(t *testing.T) {
 	l.Release()
 }
 
+// TestLimiterExpiredContextNotAdmitted is the regression test for admitting
+// already-dead requests: a context that is expired on arrival must be
+// refused with its own error even when the limiter is completely free — on
+// the old code the select raced a free slot against the done channel and
+// could admit the corpse, wasting an execution slot on a query whose client
+// already hung up. Repeats amplify the old 50/50 race into a certain
+// failure, and the drain check catches any slot/queue leak on the new
+// re-check path.
+func TestLimiterExpiredContextNotAdmitted(t *testing.T) {
+	l := NewLimiter(2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("acquire %d with expired ctx: %v, want context.Canceled", i, err)
+		}
+	}
+	if l.InFlight() != 0 || l.Queued() != 0 {
+		t.Fatalf("expired acquires leaked state: in-flight %d queued %d", l.InFlight(), l.Queued())
+	}
+	// A live caller is unaffected.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("live acquire after expired storm: %v", err)
+	}
+	l.Release()
+}
+
+// TestLimiterEstimatedWait checks the Retry-After signal: zero before any
+// admission, then tracking observed slot waits.
+func TestLimiterEstimatedWait(t *testing.T) {
+	l := NewLimiter(1, 1)
+	if w := l.EstimatedWait(); w != 0 {
+		t.Fatalf("estimated wait before any admission: %v, want 0", w)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+	l.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	// The first (free, ~0) acquire seeded the EWMA, so the ~20ms queued wait
+	// contributes at least its α = 1/8 share.
+	if w := l.EstimatedWait(); w < 2*time.Millisecond {
+		t.Fatalf("estimated wait %v does not reflect the ~20ms queued wait", w)
+	}
+}
+
 // TestLimiterBoundsConcurrency hammers the limiter and checks the
 // in-flight bound is never exceeded and every admitted caller completes.
 func TestLimiterBoundsConcurrency(t *testing.T) {

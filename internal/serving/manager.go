@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -361,7 +362,12 @@ func (m *Manager) coalesce(ctx context.Context, t *tenant, q stopandstare.Query)
 			if f.err != nil {
 				return nil, f.err
 			}
-			res := *f.res // shallow copy; Seeds is shared and read-only
+			res := *f.res
+			// Each follower gets its own Seeds backing array: the shallow
+			// copy above would alias every follower (and the leader) to one
+			// slice, so a caller sorting or truncating its result would
+			// corrupt all the others' responses.
+			res.Seeds = slices.Clone(f.res.Seeds)
 			res.Coalesced = true
 			return &res, nil
 		case <-ctx.Done():

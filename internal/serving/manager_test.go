@@ -208,6 +208,84 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
+// TestCoalescedSeedsNotAliased is the regression test for follower results
+// sharing the leader's Seeds backing array: a caller mutating its own
+// response (re-ranking, truncating in place) must not corrupt what every
+// other caller of the same coalesced flight received. On the old shallow
+// copy, the mutation below wrote through to the leader and every sibling.
+func TestCoalescedSeedsNotAliased(t *testing.T) {
+	g := testGraph(t, 9)
+	const followers = 3
+
+	var m *Manager
+	m = NewManager(Config{
+		MaxInFlight: 2,
+		OnExecute: func(string) {
+			deadline := time.Now().Add(10 * time.Second)
+			for m.Stats().Coalesced < followers {
+				if time.Now().After(deadline) {
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		},
+	})
+	defer m.Close()
+	if err := m.AddTenant("t", TenantConfig{
+		Graph: g, Model: stopandstare.IC,
+		Session: stopandstare.SessionOptions{Seed: 21, Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := stopandstare.Query{K: 8, Epsilon: 0.25}
+	results := make([]*stopandstare.Result, followers+1)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := m.Maximize(context.Background(), "t", q)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if st := m.Stats(); st.Coalesced != followers {
+		t.Fatalf("coalesced=%d, want %d (flight did not coalesce)", st.Coalesced, followers)
+	}
+
+	pristine := slices.Clone(results[0].Seeds)
+	victim := -1
+	for i, res := range results {
+		if res.Coalesced {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no coalesced response to mutate")
+	}
+	for j := range results[victim].Seeds {
+		results[victim].Seeds[j] = ^uint32(0)
+	}
+	for i, res := range results {
+		if i == victim {
+			continue
+		}
+		if !slices.Equal(res.Seeds, pristine) {
+			t.Fatalf("response %d corrupted by mutating response %d: %v, want %v",
+				i, victim, res.Seeds, pristine)
+		}
+	}
+}
+
 // TestLazyGraphFileTenant checks a GraphFile tenant costs nothing until
 // queried, opens on first query, and is fully released on removal.
 func TestLazyGraphFileTenant(t *testing.T) {

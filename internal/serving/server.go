@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"stopandstare"
@@ -167,6 +169,22 @@ func (s *Server) resolveTenant(req string) (string, error) {
 	return "", fmt.Errorf("serving: %d tenants, request must name one", len(names))
 }
 
+// retryAfter derives the Retry-After hint from the limiter's observed slot
+// wait, so backed-off clients return when a slot is actually likely —
+// clamped to at least 1s (the header's useful minimum) and at most the
+// configured default timeout (waiting longer than the server would have
+// let the request queue is pointless).
+func (s *Server) retryAfter() string {
+	secs := int64(math.Ceil(s.mgr.limiter.EstimatedWait().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if max := int64(math.Ceil(s.cfg.DefaultTimeout.Seconds())); secs > max && max >= 1 {
+		secs = max
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
@@ -204,10 +222,16 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, stopandstare.ErrShardUnreachable):
+			// Degraded mode: a remote shard worker is down. The session
+			// recovers by reconnect-and-replay once the worker returns, so
+			// this is retryable capacity loss, not a bad request.
+			w.Header().Set("Retry-After", s.retryAfter())
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrUnknownTenant):
 			writeError(w, http.StatusNotFound, err)

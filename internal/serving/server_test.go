@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -160,6 +161,25 @@ func TestServeWarmAndCoalesced(t *testing.T) {
 	}
 }
 
+// checkRetryAfter asserts a backpressure response carries a Retry-After
+// header that parses as a positive integer no larger than the default
+// timeout (30s here) — the limiter-derived hint, not a bare placeholder and
+// not an unbounded backoff.
+func checkRetryAfter(t *testing.T, ctx string, resp *http.Response) {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%s without Retry-After", ctx)
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("%s Retry-After %q, want a positive integer of seconds", ctx, ra)
+	}
+	if secs > 30 {
+		t.Fatalf("%s Retry-After %ds exceeds the 30s default timeout", ctx, secs)
+	}
+}
+
 // TestServeBackpressure checks overload surfaces as 429 (queue full) and
 // 503 (deadline while queued), both with Retry-After, while the held
 // request still completes.
@@ -197,9 +217,7 @@ func TestServeBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("queued-past-deadline query: status %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
-	}
+	checkRetryAfter(t, "503", resp)
 
 	// Requests 2' and 3 together overflow: one queues, one is rejected
 	// outright with 429. Fire 2' asynchronously so it holds the queue slot.
@@ -215,9 +233,7 @@ func TestServeBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("queue-full query: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
-	}
+	checkRetryAfter(t, "429", resp)
 
 	// Releasing the gate drains everything held: the first request and the
 	// queued one both succeed.

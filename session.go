@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stopandstare/internal/core"
 	"stopandstare/internal/epoch"
@@ -12,6 +13,11 @@ import (
 	"stopandstare/internal/ris"
 	"stopandstare/internal/tvm"
 )
+
+// ErrShardUnreachable is the sentinel wrapped by the error a Session with
+// RemoteWorkers returns when a shard worker cannot be reached: test with
+// errors.Is to distinguish degraded serving capacity from a bad request.
+var ErrShardUnreachable = ris.ErrShardUnreachable
 
 // Session is a long-lived, concurrency-safe serving object for a stream of
 // influence-maximization queries against one (graph, model). It owns:
@@ -87,7 +93,21 @@ type SessionOptions struct {
 	// Bit-identical either way (see Options.Shards).
 	Shards int
 	// ShardWorkers bounds per-shard generation parallelism when Shards ≥ 1.
+	// For remote shards it is the sampling parallelism requested on each
+	// worker (0 = the worker process's own default).
 	ShardWorkers int
+	// RemoteWorkers lists imworker addresses ("host:port" TCP or
+	// "unix:/path"); non-empty keeps the RR stream in a remote-sharded
+	// store, one shard per worker process, overriding Shards. Workers open
+	// the same graph (a mapped .sasg shares pages across every worker on a
+	// host) and must be started with a node count matching this session's
+	// graph. Results are bit-identical to every in-process topology; an
+	// unreachable worker surfaces from Maximize as an error wrapping
+	// ErrShardUnreachable after the client's reconnect budget is spent.
+	RemoteWorkers []string
+	// RemoteTimeout bounds one worker RPC exchange (including the sampling
+	// a top-up triggers worker-side); 0 selects a generous default.
+	RemoteTimeout time.Duration
 	// Kernel selects the RR sampling implementation (see Options.Kernel).
 	Kernel Kernel
 	// Weights, when non-nil, makes this a weighted (targeted viral
@@ -185,6 +205,7 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 		inst:    inst,
 		store: ris.NewStore(sampler, opt.Seed, ris.StoreOptions{
 			Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+			RemoteWorkers: opt.RemoteWorkers, RemoteTimeout: opt.RemoteTimeout,
 		}),
 		solvers: make(map[int]*kSolver),
 	}
@@ -197,7 +218,22 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 // stream suffix beyond what previous queries already generated — often
 // nothing — and return exactly what a cold Maximize with the same seed
 // would.
-func (s *Session) Maximize(q Query) (*Result, error) {
+func (s *Session) Maximize(q Query) (res *Result, err error) {
+	// The Store interface is error-free, so a remote-sharded store raises
+	// worker failures as *ris.ShardError panics; this is the surface that
+	// turns them back into ordinary errors (degraded mode: the session
+	// stays usable and retries once workers return). Lock discipline is
+	// panic-safe below here — core brackets store reads with deferred
+	// releases — so no session lock is held when we land in this recover.
+	defer func() {
+		if p := recover(); p != nil {
+			se, ok := p.(*ris.ShardError)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, se
+		}
+	}()
 	algo := q.Algorithm
 	if algo == "" {
 		algo = DSSA
@@ -219,20 +255,19 @@ func (s *Session) Maximize(q Query) (*Result, error) {
 		copt.OptLowerBound = s.inst.OptLowerBound(q.K)
 	}
 	env := sessionEnv{s: s}
-	var res *core.Result
-	var err error
+	var cres *core.Result
 	if algo == DSSA {
-		res, err = core.DSSAWith(copt, env)
+		cres, err = core.DSSAWith(copt, env)
 	} else {
-		res, err = core.SSAWith(copt, env)
+		cres, err = core.SSAWith(copt, env)
 	}
 	if err != nil {
 		return nil, err
 	}
 	s.queries.Add(1)
-	return &Result{Seeds: res.Seeds, InfluenceEstimate: res.Influence,
-		Samples: res.TotalSamples, Iterations: res.Iterations, HitCap: res.HitCap,
-		MemoryBytes: res.MemoryBytes, Elapsed: res.Elapsed, Warm: !res.Grew}, nil
+	return &Result{Seeds: cres.Seeds, InfluenceEstimate: cres.Influence,
+		Samples: cres.TotalSamples, Iterations: cres.Iterations, HitCap: cres.HitCap,
+		MemoryBytes: cres.MemoryBytes, Elapsed: cres.Elapsed, Warm: !cres.Grew}, nil
 }
 
 // Gamma returns Σ_v b(v) for weighted sessions (0 for classic IM sessions):
@@ -321,10 +356,15 @@ func (e sessionEnv) Ensure(target int) bool {
 	if ok {
 		return false
 	}
-	s.mu.Lock()
-	grew := s.store.Len() < target // another query may have topped up first
-	s.store.GenerateTo(target)
-	s.mu.Unlock()
+	var grew bool
+	func() {
+		s.mu.Lock()
+		// Deferred so a remote shard's failure panic (*ris.ShardError)
+		// cannot leak the write lock on its way to Maximize's recover.
+		defer s.mu.Unlock()
+		grew = s.store.Len() < target // another query may have topped up first
+		s.store.GenerateTo(target)
+	}()
 	if grew {
 		s.growths.Add(1)
 	}
@@ -351,7 +391,6 @@ func (e sessionEnv) Solve(upto, k int) maxcover.Result {
 
 func (e sessionEnv) Coverage(seeds []uint32, from, to int) int64 {
 	m := e.s.marks.Get().(*epoch.Marks)
-	cov := ris.CoverageRangeSeedsMarks(e.s.store, m, seeds, from, to)
-	e.s.marks.Put(m)
-	return cov
+	defer e.s.marks.Put(m) // returned to the pool even if a remote shard panics
+	return ris.CoverageRangeSeedsMarks(e.s.store, m, seeds, from, to)
 }

@@ -1,0 +1,92 @@
+package stopandstare
+
+import (
+	"errors"
+	"net"
+	"slices"
+	"testing"
+
+	"stopandstare/internal/ris"
+)
+
+// TestSessionRemoteWorkersTCP is the end-to-end cross-process check over
+// real sockets: two ShardServers on localhost TCP listeners (exactly what
+// cmd/imworker runs), a Session pointed at them via RemoteWorkers, and a
+// local single-process Session as the reference. Results must be
+// bit-identical; killing the workers must turn the next query into a clean
+// ErrShardUnreachable, not a hang or an unrecovered panic.
+func TestSessionRemoteWorkersTCP(t *testing.T) {
+	g, err := GeneratePowerLaw(200, 1200, 2.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	var servers []*ris.ShardServer
+	for i := 0; i < 2; i++ {
+		srv := ris.NewShardServer(g, ris.ShardServerOptions{SamplingWorkers: 2})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+
+	local, err := NewSession(g, IC, SessionOptions{Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewSession(g, IC, SessionOptions{Seed: 5, Workers: 2, RemoteWorkers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A query stream, cold then warm then a different algorithm: each answer
+	// must match the single-process session exactly.
+	for _, q := range []Query{
+		{K: 6, Epsilon: 0.3},
+		{K: 4, Epsilon: 0.3},
+		{K: 6, Epsilon: 0.3, Algorithm: SSA},
+	} {
+		want, err := local.Maximize(q)
+		if err != nil {
+			t.Fatalf("local %+v: %v", q, err)
+		}
+		got, err := remote.Maximize(q)
+		if err != nil {
+			t.Fatalf("remote %+v: %v", q, err)
+		}
+		if !slices.Equal(got.Seeds, want.Seeds) {
+			t.Fatalf("%+v: Seeds %v vs local %v", q, got.Seeds, want.Seeds)
+		}
+		if got.InfluenceEstimate != want.InfluenceEstimate || got.Samples != want.Samples ||
+			got.Iterations != want.Iterations {
+			t.Fatalf("%+v: influence/samples/iterations %v/%d/%d vs local %v/%d/%d", q,
+				got.InfluenceEstimate, got.Samples, got.Iterations,
+				want.InfluenceEstimate, want.Samples, want.Iterations)
+		}
+	}
+
+	// Degraded mode: with every worker gone, Maximize must return a typed
+	// error the serving layer can map to 503 + Retry-After.
+	for _, srv := range servers {
+		srv.Close()
+	}
+	_, err = remote.Maximize(Query{K: 9, Epsilon: 0.25})
+	if err == nil {
+		t.Fatal("Maximize succeeded with all workers dead")
+	}
+	if !errors.Is(err, ErrShardUnreachable) {
+		t.Fatalf("error %v does not wrap ErrShardUnreachable", err)
+	}
+	var se *ris.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *ris.ShardError", err)
+	}
+}
