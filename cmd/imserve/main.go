@@ -25,7 +25,9 @@
 // query: a fleet of mapped .sasg tenants costs ~0 resident bytes until
 // traffic arrives, and under -budget pressure cold tenants' RR stores are
 // evicted (and rebuilt bit-identically on re-admission) while compiled
-// sampling plans stay cached.
+// sampling plans stay cached. With -spill-budget each session also gets a
+// disk spill tier: under -budget pressure cold RR bytes move to spill
+// files first, and eviction becomes the last resort.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests get up to -drain to finish, then sessions are retired.
@@ -41,12 +43,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"stopandstare"
+	"stopandstare/internal/cliutil"
 	"stopandstare/internal/serving"
 )
 
@@ -66,6 +68,8 @@ type options struct {
 	tenants       string // extra tenants, "name=path,name=path"
 	defaultTenant string
 	budget        string
+	spillBudget   string // per-session RR-store spill threshold
+	spillDir      string
 	inFlight      int
 	queued        int
 	timeout       time.Duration
@@ -74,31 +78,7 @@ type options struct {
 
 // parseSize parses a byte count with an optional binary-unit suffix:
 // "1048576", "64KiB", "512MiB", "2GiB". A bare number is bytes.
-func parseSize(s string) (int64, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return 0, nil
-	}
-	mult := int64(1)
-	for _, u := range []struct {
-		suffix string
-		mult   int64
-	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
-		if strings.HasSuffix(s, u.suffix) {
-			mult = u.mult
-			s = strings.TrimSuffix(s, u.suffix)
-			break
-		}
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad size %q (want e.g. 1048576, 64KiB, 512MiB, 2GiB)", s)
-	}
-	if n < 0 {
-		return 0, fmt.Errorf("negative size %q", s)
-	}
-	return n * mult, nil
-}
+func parseSize(s string) (int64, error) { return cliutil.ParseSize(s) }
 
 // parseWorkers splits a comma-separated imworker address list.
 func parseWorkers(s string) []string {
@@ -154,6 +134,10 @@ func buildManager(o options) (*serving.Manager, serving.ServerConfig, error) {
 	if err != nil {
 		return nil, scfg, err
 	}
+	spillBudget, err := parseSize(o.spillBudget)
+	if err != nil {
+		return nil, scfg, err
+	}
 	specs, err := parseTenants(o.tenants)
 	if err != nil {
 		return nil, scfg, err
@@ -163,7 +147,8 @@ func buildManager(o options) (*serving.Manager, serving.ServerConfig, error) {
 	}
 	sessOpts := stopandstare.SessionOptions{
 		Seed: o.seed, Workers: o.workers, Shards: o.shards, Kernel: krn,
-		RemoteWorkers: parseWorkers(o.remoteWorkers),
+		RemoteWorkers:    parseWorkers(o.remoteWorkers),
+		SpillBudgetBytes: spillBudget, SpillDir: o.spillDir,
 	}
 
 	mgr := serving.NewManager(serving.Config{
@@ -253,6 +238,8 @@ func main() {
 	flag.StringVar(&o.tenants, "tenants", "", "additional tenants as name=path,... (graph files opened lazily)")
 	flag.StringVar(&o.defaultTenant, "default-tenant", "", "tenant answering requests that omit one")
 	flag.StringVar(&o.budget, "budget", "", "global RR-store budget, e.g. 512MiB or 2GiB (empty = unbounded)")
+	flag.StringVar(&o.spillBudget, "spill-budget", "", "per-session resident RR-store budget, e.g. 64MiB; above it cold arena segments and index blocks spill to disk (empty = no spill tier)")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for RR-store spill files (empty = OS temp dir)")
 	flag.IntVar(&o.inFlight, "inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queued, "queue", 0, "max queries waiting beyond -inflight (0 = 4x inflight, -1 = none)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-request wait deadline")

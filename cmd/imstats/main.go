@@ -1,9 +1,13 @@
 // Command imstats prints Table 2-style statistics for a graph file
-// (binary .ssg, mmap-able .sasg, or text edge list).
+// (binary .ssg, mmap-able .sasg, or text edge list). With -rr it also
+// samples that many RR sets into a store and reports the store's
+// accounting, including the resident/spilled byte split when -spill-budget
+// gives the store a disk spill tier.
 //
 //	imstats -graph nethept.ssg
 //	imstats -graph friendster.sasg
 //	imstats -graph edges.txt -format text -directed
+//	imstats -graph nethept.sasg -rr 200000 -spill-budget 16MiB
 package main
 
 import (
@@ -11,7 +15,10 @@ import (
 	"fmt"
 	"os"
 
+	"stopandstare/internal/cliutil"
+	"stopandstare/internal/diffusion"
 	"stopandstare/internal/graph"
+	"stopandstare/internal/ris"
 )
 
 func main() {
@@ -19,6 +26,12 @@ func main() {
 		path     = flag.String("graph", "", "graph file (required)")
 		format   = flag.String("format", "binary", "binary (.ssg/.sasg, sniffed) or text")
 		directed = flag.Bool("directed", true, "text edge lists: one arc per line")
+
+		rr          = flag.Int("rr", 0, "sample this many RR sets and report store accounting (0 = graph stats only)")
+		model       = flag.String("model", "IC", "propagation model for -rr: IC or LT")
+		seed        = flag.Uint64("seed", 1, "RR-stream seed for -rr")
+		spillBudget = flag.String("spill-budget", "", "resident RR-byte budget for -rr, e.g. 16MiB; above it cold store blocks spill to disk (empty = no spill tier)")
+		spillDir    = flag.String("spill-dir", "", "directory for -rr spill files (empty = OS temp dir)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -51,4 +64,47 @@ func main() {
 	fmt.Printf("storage:       %s\n", g.View().Kind())
 	fmt.Printf("memory:        %.1f MB (%.1f resident + %.1f mapped)\n",
 		float64(g.Bytes())/(1<<20), float64(g.ResidentBytes())/(1<<20), float64(g.MappedBytes())/(1<<20))
+
+	if *rr > 0 {
+		if err := sampleStats(g, *rr, *model, *seed, *spillBudget, *spillDir); err != nil {
+			fmt.Fprintf(os.Stderr, "imstats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// sampleStats generates rr RR sets into a store (spill-tiered when
+// spillBudget is set) and prints its accounting — the resident/spilled
+// split the serving budget decisions are based on.
+func sampleStats(g *graph.Graph, rr int, model string, seed uint64, spillBudget, spillDir string) error {
+	mdl, err := diffusion.ParseModel(model)
+	if err != nil {
+		return err
+	}
+	budget, err := cliutil.ParseSize(spillBudget)
+	if err != nil {
+		return err
+	}
+	s, err := ris.NewSampler(g, mdl)
+	if err != nil {
+		return err
+	}
+	st := ris.NewStore(s, seed, ris.StoreOptions{
+		SpillBudgetBytes: budget, SpillDir: spillDir,
+	})
+	st.Generate(rr)
+	fmt.Printf("rr-sets:       %d\n", st.Len())
+	fmt.Printf("rr-items:      %d\n", st.Items())
+	fmt.Printf("rr-resident:   %.1f MB\n", float64(st.Bytes())/(1<<20))
+	if ss, ok := st.(ris.SpilledStore); ok {
+		if sp := ss.SpillStats(); sp.Enabled {
+			fmt.Printf("rr-spilled:    %.1f MB in %d blocks (budget %.1f MB)\n",
+				float64(sp.SpilledBytes)/(1<<20), sp.Blocks, float64(sp.BudgetBytes)/(1<<20))
+			fmt.Printf("spill-file:    %.1f MB\n", float64(sp.FileBytes)/(1<<20))
+			if sp.Err != "" {
+				fmt.Printf("spill-error:   %s\n", sp.Err)
+			}
+		}
+	}
+	return nil
 }

@@ -31,24 +31,32 @@ import (
 	"syscall"
 
 	"stopandstare"
+	"stopandstare/internal/cliutil"
 	"stopandstare/internal/ris"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (pages shared across workers)")
-		preset    = flag.String("preset", "", "synthetic preset graph (see imgen); alternative to -graph")
-		scale     = flag.Float64("scale", 1.0, "preset scale multiplier")
-		genSeed   = flag.Uint64("gen-seed", 1, "preset generation seed (must match the coordinator's)")
-		addr      = flag.String("addr", "127.0.0.1:8378", "TCP listen address (empty = none)")
-		unixPath  = flag.String("unix", "", "unix socket path to listen on (empty = none)")
-		workers   = flag.Int("workers", runtime.NumCPU(), "sampling workers for shards that request the worker default")
-		maxShards = flag.Int("max-shards", 64, "resident shard-state cap; least-recently-used states beyond it are dropped and rebuilt by replay")
+		graphPath   = flag.String("graph", "", "graph file, .ssg binary or mmap-able .sasg (pages shared across workers)")
+		preset      = flag.String("preset", "", "synthetic preset graph (see imgen); alternative to -graph")
+		scale       = flag.Float64("scale", 1.0, "preset scale multiplier")
+		genSeed     = flag.Uint64("gen-seed", 1, "preset generation seed (must match the coordinator's)")
+		addr        = flag.String("addr", "127.0.0.1:8378", "TCP listen address (empty = none)")
+		unixPath    = flag.String("unix", "", "unix socket path to listen on (empty = none)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "sampling workers for shards that request the worker default")
+		maxShards   = flag.Int("max-shards", 64, "resident shard-state cap; least-recently-used states beyond it are dropped and rebuilt by replay")
+		spillBudget = flag.String("spill-budget", "", "resident RR-byte budget across this worker's shards, e.g. 64MiB; above it cold arena segments and index blocks spill to disk (empty = no spill tier)")
+		spillDir    = flag.String("spill-dir", "", "directory for shard spill files (empty = OS temp dir)")
 	)
 	flag.Parse()
 
+	spillBytes, err := cliutil.ParseSize(*spillBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+		os.Exit(1)
+	}
+
 	var g *stopandstare.Graph
-	var err error
 	switch {
 	case *graphPath != "":
 		g, err = stopandstare.OpenGraphFile(*graphPath)
@@ -64,6 +72,7 @@ func main() {
 
 	srv := ris.NewShardServer(g, ris.ShardServerOptions{
 		SamplingWorkers: *workers, MaxShards: *maxShards,
+		SpillBudgetBytes: spillBytes, SpillDir: *spillDir,
 	})
 	errc := make(chan error, 1)
 	listening := 0

@@ -353,6 +353,92 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 			}
 		}
 	})
+
+	// Spill-tier trio (PR 9): the session/cold and session/warm workloads
+	// re-run under resident-byte budgets that leave ~50% and ~90% of the
+	// flat store's bytes on the disk spill tier. generate_* pays the spill
+	// writes inside the cold run; warm_* pays fault-in through the read-only
+	// mappings on the repeated query. The resident_* records are gauges, not
+	// timings: Iterations 1 and BytesPerOp = Session.Stats().StoreBytes, so
+	// the committed JSON pins the resident-ratio claim (spilled90 ≤ 0.5×
+	// flat) next to the warm-latency one (warm_spilled90 ≤ 2× warm_flat).
+	// Identity probes run before any timing: every budget must reproduce
+	// the flat session's Seeds and sample count exactly.
+	flatStoreBytes := warmSess.Stats().StoreBytes
+	gauge := func(name string, bytes int64) {
+		rep.Results = append(rep.Results, PerfRecord{Name: name, Iterations: 1, BytesPerOp: bytes})
+	}
+	add("spill/generate_flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := stopandstare.NewSession(g, diffusion.IC, sessOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("spill/warm_flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := warmSess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	gauge("spill/resident_flat", flatStoreBytes)
+	for _, tier := range []struct {
+		name   string
+		budget int64
+	}{
+		{"spilled50", flatStoreBytes / 2},
+		{"spilled90", flatStoreBytes / 10},
+	} {
+		spillOpt := sessOpt
+		spillOpt.SpillBudgetBytes = tier.budget
+		spillOpt.SpillDir = tmpDir
+		probe, err := stopandstare.NewSession(g, diffusion.IC, spillOpt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := probe.Maximize(sessQuery)
+		if err != nil {
+			return nil, err
+		}
+		if !slices.Equal(res.Seeds, coldCheck.Seeds) || res.Samples != coldCheck.Samples {
+			return nil, fmt.Errorf("bench: %s session drifted from flat: %v/%d vs %v/%d",
+				tier.name, res.Seeds, res.Samples, coldCheck.Seeds, coldCheck.Samples)
+		}
+		if st := probe.Stats(); st.SpillFileBytes == 0 {
+			return nil, fmt.Errorf("bench: %s budget %d spilled nothing (flat store %d bytes)",
+				tier.name, tier.budget, flatStoreBytes)
+		}
+		add("spill/generate_"+tier.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess, err := stopandstare.NewSession(g, diffusion.IC, spillOpt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Maximize(sessQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("spill/warm_"+tier.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := probe.Maximize(sessQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st := probe.Stats()
+		gauge("spill/resident_"+tier.name, st.StoreBytes)
+		gauge("spill/spilled_bytes_"+tier.name, st.StoreSpilledBytes)
+	}
 	return rep, nil
 }
 

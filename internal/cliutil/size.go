@@ -1,0 +1,37 @@
+// Package cliutil holds tiny helpers shared by the cmd/ tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a byte count with an optional binary-unit suffix:
+// "1048576", "64KiB", "512MiB", "2GiB". A bare number is bytes; the empty
+// string is 0 (callers treat 0 as "unset").
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 1048576, 64KiB, 512MiB, 2GiB)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,31 @@
+package cliutil
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"1048576", 1 << 20, true},
+		{"64KiB", 64 << 10, true},
+		{"512MiB", 512 << 20, true},
+		{"2GiB", 2 << 30, true},
+		{" 8 KiB ", 8 << 10, true},
+		{"-1", 0, false},
+		{"12MB", 0, false},
+		{"KiB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseSize(%q): err=%v, want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

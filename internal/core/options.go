@@ -64,6 +64,11 @@ type Options struct {
 	// RemoteTimeout bounds one remote-shard RPC exchange; ≤0 selects
 	// ris.DefaultRemoteTimeout.
 	RemoteTimeout time.Duration
+	// SpillBudgetBytes > 0 enables the store's disk spill tier (see
+	// ris.StoreOptions.SpillBudgetBytes). Bit-identical at every budget.
+	SpillBudgetBytes int64
+	// SpillDir is where spill files are created ("" ⇒ the OS temp dir).
+	SpillDir string
 	// OptLowerBound is a known lower bound on OPT_k used only to size the
 	// Nmax safety cap. Defaults to K for IM (each seed influences at least
 	// itself); the TVM wrapper passes the top-K benefit sum.
@@ -177,7 +182,8 @@ func (o *Options) newStore(s *ris.Sampler) ris.Store {
 	return ris.NewStore(s, o.Seed, ris.StoreOptions{
 		Workers: o.Workers, Shards: o.Shards, ShardWorkers: o.ShardWorkers,
 		RemoteWorkers: o.RemoteWorkers, RemoteDial: o.RemoteDial,
-		RemoteTimeout: o.RemoteTimeout,
+		RemoteTimeout:    o.RemoteTimeout,
+		SpillBudgetBytes: o.SpillBudgetBytes, SpillDir: o.SpillDir,
 	})
 }
 

@@ -74,7 +74,10 @@ func (rs *RemoteShard) dropConnLocked() {
 
 // segSnap captures the mirror's observable extent so a partially failed
 // multi-shard Generate can be rolled back exactly. Mirrors hold no CSR
-// blocks, so the three scalars cover everything.
+// blocks and spill enforcement only runs after a fully successful Generate,
+// so between snapshot and restore the segment can only have grown at its
+// arena tail — bufLen is the TAIL length (frozen extents are immutable and
+// need no rollback) and the three scalars cover everything.
 type segSnap struct {
 	nsets  int
 	bufLen int

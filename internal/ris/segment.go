@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"stopandstare/internal/rng"
 )
@@ -43,6 +44,9 @@ type csrBlock struct {
 	lfrom, lto int     // segment-local set range the block indexes
 	starts     []int32 // len = NumNodes+1; block-local offsets into ids
 	ids        []int32 // global RR-set ids, ascending within each node's run
+
+	spilled *spillMapping // non-nil ⇒ starts/ids alias the spill file
+	lastUse uint64        // spill-LRU recency; read/written atomically
 }
 
 // segment is one arena + CSR index over a sub-stream of RR sets. It is not
@@ -50,12 +54,33 @@ type csrBlock struct {
 // generation and coverage queries on top.
 type segment struct {
 	n       int      // node count of the underlying graph
-	buf     []uint32 // arena: all RR-set entries, back to back
-	offsets []int64  // len = nsets()+1; local set i is buf[offsets[i]:offsets[i+1]]
+	buf     []uint32 // arena tail: entries of sets not yet frozen into extents
+	offsets []int64  // len = nsets()+1; absolute item offsets across extents+tail
 	gids    []int32  // global id per local set; nil ⇒ identity (flat store)
 	blocks  []csrBlock
 	width   int64   // Σ w(R_j) over the segment's sets
 	cursor  []int32 // scratch for CSR construction, len = n
+
+	// Spill tier. Without a spill budget all three stay zero and the arena
+	// is exactly the flat buf above: tailSet = 0, tailBase = 0, no extents.
+	exts     []arenaExtent // frozen arena extents preceding buf, ascending
+	tailSet  int           // local index of the first set stored in buf
+	tailBase int64         // absolute item offset of buf[0]
+	spill    *spillState   // shared spill tier; nil ⇒ spilling disabled
+}
+
+// arenaExtent is a frozen, immutable slice of the arena: local sets
+// [setFrom, setTo) whose items span absolute offsets [base, end). data is
+// either the original heap slice (resident) or an alias of the spill file's
+// shared mapping (mapped != nil). Extents are created by seal() only under
+// spill pressure, so the flat store's single-slice fast path is untouched
+// when spilling is off.
+type arenaExtent struct {
+	setFrom, setTo int
+	base, end      int64
+	data           []uint32
+	mapped         *spillMapping
+	lastUse        uint64 // spill-LRU recency; read/written atomically
 }
 
 func newSegment(n int) *segment {
@@ -65,8 +90,69 @@ func newSegment(n int) *segment {
 // nsets returns the number of sets stored in the segment.
 func (sg *segment) nsets() int { return len(sg.offsets) - 1 }
 
-// setAt returns local set i as a sub-slice of the arena.
-func (sg *segment) setAt(i int) []uint32 { return sg.buf[sg.offsets[i]:sg.offsets[i+1]] }
+// setAt returns local set i as a sub-slice of the arena: the active tail for
+// recent sets, or the frozen extent holding i (which may alias the spill
+// file — reading it is the transparent fault-in path).
+func (sg *segment) setAt(i int) []uint32 {
+	if i >= sg.tailSet {
+		return sg.buf[sg.offsets[i]-sg.tailBase : sg.offsets[i+1]-sg.tailBase]
+	}
+	e := sg.extentAt(i)
+	return e.data[sg.offsets[i]-e.base : sg.offsets[i+1]-e.base]
+}
+
+// extentAt locates the frozen extent holding local set i and stamps its LRU
+// recency (resident extents only — spilled ones have nothing left to evict).
+// Safe under concurrent reads: extents are immutable and the stamp is
+// atomic.
+func (sg *segment) extentAt(i int) *arenaExtent {
+	lo, hi := 0, len(sg.exts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sg.exts[mid].setTo <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e := &sg.exts[lo]
+	if e.mapped == nil && sg.spill != nil {
+		atomic.StoreUint64(&e.lastUse, sg.spill.tick())
+	}
+	return e
+}
+
+// tailItems returns the arena entries of local sets [from, to), which must
+// lie entirely within the active tail. Index builds always do: the merge
+// guard in appendIndexBlock never reaches behind tailSet.
+func (sg *segment) tailItems(from, to int) []uint32 {
+	return sg.buf[sg.offsets[from]-sg.tailBase : sg.offsets[to]-sg.tailBase]
+}
+
+// items returns the total arena entries across extents and tail.
+func (sg *segment) items() int64 { return sg.offsets[sg.nsets()] }
+
+// seal freezes the active tail into an immutable extent — making it a spill
+// candidate — and starts an empty tail after it. Called only by the spill
+// enforcement loop, under the store's mutation exclusivity; the sealed
+// extent is stamped as most recently used, since it holds the newest sets.
+func (sg *segment) seal() {
+	if len(sg.buf) == 0 {
+		return
+	}
+	var use uint64
+	if sg.spill != nil {
+		use = sg.spill.tick()
+	}
+	sg.exts = append(sg.exts, arenaExtent{
+		setFrom: sg.tailSet, setTo: sg.nsets(),
+		base: sg.tailBase, end: sg.tailBase + int64(len(sg.buf)),
+		data: sg.buf, lastUse: use,
+	})
+	sg.tailSet = sg.nsets()
+	sg.tailBase += int64(len(sg.buf))
+	sg.buf = nil
+}
 
 // gid maps a local set index to its global stream id.
 func (sg *segment) gid(i int) int {
@@ -76,17 +162,50 @@ func (sg *segment) gid(i int) int {
 	return int(sg.gids[i])
 }
 
-// bytes reports the memory held by the arena, offset/gid tables and CSR
-// blocks (capacities, since grown backing arrays are what the process
-// actually retains).
-func (sg *segment) bytes() int64 {
+// residentBytes reports the heap memory the segment holds: the tail arena,
+// offset/gid/cursor tables, resident extents and index blocks, plus the
+// per-block and per-extent metadata records themselves (capacities, since
+// grown backing arrays are what the process actually retains). Units that
+// alias the spill file's mapping are excluded — spilledBytes counts those.
+func (sg *segment) residentBytes() int64 {
 	b := int64(cap(sg.buf))*4 + int64(cap(sg.offsets))*8 +
-		int64(cap(sg.gids))*4 + int64(cap(sg.cursor))*4
+		int64(cap(sg.gids))*4 + int64(cap(sg.cursor))*4 +
+		int64(cap(sg.blocks))*int64(unsafe.Sizeof(csrBlock{})) +
+		int64(cap(sg.exts))*int64(unsafe.Sizeof(arenaExtent{}))
 	for i := range sg.blocks {
 		blk := &sg.blocks[i]
-		b += int64(cap(blk.starts))*4 + int64(cap(blk.ids))*4
+		if blk.spilled == nil || spillMappedResident {
+			b += int64(cap(blk.starts))*4 + int64(cap(blk.ids))*4
+		}
 	}
-	b += int64(cap(sg.blocks)) * 80 // block headers: 4 ints + 2 slice headers
+	for i := range sg.exts {
+		e := &sg.exts[i]
+		if e.mapped == nil || spillMappedResident {
+			b += int64(cap(e.data)) * 4
+		}
+	}
+	return b
+}
+
+// spilledBytes reports the RR data aliasing the spill file's shared mapping
+// (zero on platforms whose fallback keeps "mapped" payloads on the heap).
+func (sg *segment) spilledBytes() int64 {
+	if spillMappedResident {
+		return 0
+	}
+	var b int64
+	for i := range sg.blocks {
+		blk := &sg.blocks[i]
+		if blk.spilled != nil {
+			b += int64(len(blk.starts))*4 + int64(len(blk.ids))*4
+		}
+	}
+	for i := range sg.exts {
+		e := &sg.exts[i]
+		if e.mapped != nil {
+			b += int64(len(e.data)) * 4
+		}
+	}
 	return b
 }
 
@@ -160,7 +279,7 @@ func (sg *segment) appendResults(results []chunkResult) {
 	sg.offsets = slices.Grow(sg.offsets, totalSets)
 	for ci := range results {
 		res := &results[ci]
-		off := int64(len(sg.buf))
+		off := sg.tailBase + int64(len(sg.buf))
 		sg.buf = append(sg.buf, res.buf...)
 		for j := 1; j < len(res.offsets); j++ {
 			sg.offsets = append(sg.offsets, off+int64(res.offsets[j]))
@@ -185,7 +304,9 @@ func (sg *segment) appendIndexBlock(from, to, workers int) {
 	newItems := int(sg.offsets[to] - sg.offsets[from])
 	for len(sg.blocks) > 0 {
 		last := &sg.blocks[len(sg.blocks)-1]
-		if len(last.ids) > newItems {
+		// Spilled blocks are immutable, and blocks over frozen extents are
+		// outside the tail a rebuild would slice — merging stops at either.
+		if last.spilled != nil || last.lfrom < sg.tailSet || len(last.ids) > newItems {
 			break
 		}
 		newItems += len(last.ids)
@@ -222,7 +343,7 @@ func (sg *segment) appendIndexBlock(from, to, workers int) {
 // place. It reuses the segment's cursor scratch.
 func (sg *segment) buildBlockSerial(from, to int, starts, ids []int32) {
 	n := sg.n
-	for _, v := range sg.buf[sg.offsets[from]:sg.offsets[to]] {
+	for _, v := range sg.tailItems(from, to) {
 		starts[v+1]++
 	}
 	for v := 0; v < n; v++ {
@@ -278,7 +399,7 @@ func (sg *segment) buildBlockParallel(from, to int, starts, ids []int32, workers
 		go func(w int) {
 			defer wg.Done()
 			counts := countsBuf[w*n : (w+1)*n]
-			for _, v := range sg.buf[sg.offsets[bounds[w]]:sg.offsets[bounds[w+1]]] {
+			for _, v := range sg.tailItems(bounds[w], bounds[w+1]) {
 				counts[v]++
 			}
 		}(w)
@@ -321,9 +442,10 @@ func (sg *segment) buildBlockParallel(from, to int, starts, ids []int32, workers
 // (still disjoint, but interleaved in global id across shards). No consumer
 // of the Store interface may rely on cross-run ordering.
 type Postings struct {
-	pre    [][]int32  // pre-fetched runs (remote shards), drained first
-	blocks []csrBlock // blocks of the segment currently being walked
-	more   []*segment // remaining segments (sharded stores only)
+	pre    [][]int32   // pre-fetched runs (remote shards), drained first
+	blocks []csrBlock  // blocks of the segment currently being walked
+	more   []*segment  // remaining segments (sharded stores only)
+	sp     *spillState // non-nil ⇒ stamp resident blocks' LRU recency
 	v      uint32
 	from   int
 	upto   int
@@ -354,6 +476,9 @@ func (p *Postings) Next() ([]int32, bool) {
 			p.bi++
 			if b.to <= p.from {
 				continue
+			}
+			if p.sp != nil && b.spilled == nil {
+				atomic.StoreUint64(&b.lastUse, p.sp.tick())
 			}
 			run := b.ids[b.starts[p.v]:b.starts[p.v+1]]
 			if b.from < p.from {

@@ -49,6 +49,7 @@ type ShardedCollection struct {
 	remotes []*RemoteShard // nil ⇒ all shards in-process
 	epochs  []genEpoch
 	length  int
+	spill   *spillState // shared spill tier across all segs; nil ⇒ disabled
 
 	covMark epoch.Marks // visited ids for CoverageRangeSeeds, grows to Len()
 }
@@ -161,7 +162,7 @@ func (sc *ShardedCollection) Len() int { return sc.length }
 func (sc *ShardedCollection) Items() int64 {
 	var items int64
 	for _, sg := range sc.segs {
-		items += int64(len(sg.buf))
+		items += sg.items()
 	}
 	return items
 }
@@ -181,15 +182,17 @@ func (sc *ShardedCollection) NumNodes() int { return sc.sampler.g.NumNodes() }
 // Scale returns the sampler scale (n or Γ).
 func (sc *ShardedCollection) Scale() float64 { return sc.sampler.scale }
 
-// Bytes reports the memory held across all shards plus the epoch table and
-// the sampler's compiled plan if one was built (shared, counted once). For
-// a remote-sharded store this is the coordinator-resident footprint — the
-// mirror arenas — not the worker-side CSR blocks, which is exactly what a
-// coordinator's byte budget (serving eviction) should meter.
+// Bytes reports the RESIDENT memory held across all shards plus the epoch
+// table and the sampler's compiled plan if one was built (shared, counted
+// once). For a remote-sharded store this is the coordinator-resident
+// footprint — the mirror arenas — not the worker-side CSR blocks, and data
+// spilled to disk is likewise excluded (SpillStats reports that tier), which
+// is exactly what a coordinator's byte budget (serving eviction) should
+// meter.
 func (sc *ShardedCollection) Bytes() int64 {
 	b := int64(sc.covMark.Cap())*4 + sc.sampler.PlanBytes()
 	for _, sg := range sc.segs {
-		b += sg.bytes()
+		b += sg.residentBytes()
 	}
 	for i := range sc.epochs {
 		e := &sc.epochs[i]
@@ -197,6 +200,23 @@ func (sc *ShardedCollection) Bytes() int64 {
 	}
 	b += int64(cap(sc.epochs)) * 64
 	return b
+}
+
+// SpillTo spills cold units across all shards until their total resident RR
+// bytes are ≤ budget (0 spills everything spillable); a no-op without a
+// spill tier. Counts as a mutation: callers must hold the same exclusivity
+// as Generate.
+func (sc *ShardedCollection) SpillTo(budget int64) error {
+	if sc.spill == nil {
+		return nil
+	}
+	return sc.spill.enforce(budget, sc.segs)
+}
+
+// SpillStats reports the spill tier's accounting (zero value when the store
+// was built without a spill budget).
+func (sc *ShardedCollection) SpillStats() SpillStats {
+	return spillStatsOf(sc.spill, sc.segs)
 }
 
 // epochIndex returns the index of the epoch containing global id i — the
@@ -344,6 +364,9 @@ func (sc *ShardedCollection) Generate(count int) {
 	}
 	sc.epochs = append(sc.epochs, e)
 	sc.length = from + count
+	if sc.spill != nil {
+		sc.spill.enforce(sc.spill.budget, sc.segs)
+	}
 }
 
 // generateRemote fans one epoch's shard sub-ranges out to the workers in
@@ -415,7 +438,7 @@ func (sc *ShardedCollection) PostingsRange(v uint32, from, upto int) Postings {
 		}
 		return Postings{pre: pre, v: v, from: from, upto: upto}
 	}
-	return Postings{more: sc.segs, v: v, from: from, upto: upto}
+	return Postings{more: sc.segs, sp: sc.spill, v: v, from: from, upto: upto}
 }
 
 // CoverageRange counts how many RR sets with ids in [from, to) contain at

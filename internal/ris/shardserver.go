@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"stopandstare/internal/diffusion"
@@ -31,6 +32,14 @@ type ShardServerOptions struct {
 	// used shard is dropped (coordinators recover via deterministic
 	// replay). ≤0 selects 64.
 	MaxShards int
+	// SpillBudgetBytes > 0 enables the disk spill tier for the whole worker
+	// process: after any shard growth that leaves more than this many
+	// resident RR bytes across ALL resident shards, the globally-coldest
+	// arena extents and CSR index blocks are spilled to a shared file.
+	SpillBudgetBytes int64
+	// SpillDir is where the worker's spill file is created ("" selects the
+	// OS temp directory).
+	SpillDir string
 }
 
 // ShardServer serves one graph's RR-set shards to remote coordinators.
@@ -38,6 +47,7 @@ type ShardServer struct {
 	g       *graph.Graph
 	workers int
 	max     int
+	spill   *spillState // shared across all resident shards; nil ⇒ disabled
 
 	mu     sync.Mutex
 	shards map[string]*workerShard
@@ -66,7 +76,7 @@ func NewShardServer(g *graph.Graph, opt ShardServerOptions) *ShardServer {
 	if max <= 0 {
 		max = 64
 	}
-	return &ShardServer{
+	s := &ShardServer{
 		g:       g,
 		workers: opt.SamplingWorkers,
 		max:     max,
@@ -74,6 +84,10 @@ func NewShardServer(g *graph.Graph, opt ShardServerOptions) *ShardServer {
 		lns:     make(map[net.Listener]struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	if opt.SpillBudgetBytes > 0 {
+		s.spill = newSpillState(opt.SpillBudgetBytes, opt.SpillDir)
+	}
+	return s
 }
 
 // NumShards reports the resident shard-state count (tests and stats).
@@ -193,7 +207,11 @@ func (s *ShardServer) dispatch(bw *bufio.Writer, kind byte, payload []byte) erro
 	case opStats:
 		return s.handleStats(bw, payload)
 	case opGenerate:
-		return s.handleGenerate(bw, payload)
+		err := s.handleGenerate(bw, payload)
+		if err == nil {
+			s.enforceSpill()
+		}
+		return err
 	case opPostings:
 		return s.handlePostings(bw, payload)
 	case opCoverage:
@@ -254,6 +272,7 @@ func (s *ShardServer) handleOpen(bw *bufio.Writer, payload []byte) error {
 	}
 	seg := newSegment(s.g.NumNodes())
 	seg.gids = []int32{}
+	seg.spill = s.spill
 	s.mu.Lock()
 	s.clock++
 	s.shards[key] = &workerShard{
@@ -263,6 +282,64 @@ func (s *ShardServer) handleOpen(bw *bufio.Writer, payload []byte) error {
 	s.evictLocked(key)
 	s.mu.Unlock()
 	return writeFrame(bw, respOK, nil)
+}
+
+// enforceSpill brings the worker's total resident RR bytes across all
+// resident shards back under the spill budget by spilling the
+// globally-coldest units. Every shard mutex is held for the duration, taken
+// in sorted key order; request handlers hold at most one shard mutex and
+// never wait for another, so the ordering cannot deadlock. Called after
+// each successful generate, outside any shard mutex.
+func (s *ShardServer) enforceSpill() {
+	sp := s.spill
+	if sp == nil {
+		return
+	}
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shards := make([]*workerShard, len(keys))
+	for i, k := range keys {
+		shards[i] = s.shards[k]
+	}
+	s.mu.Unlock()
+	segs := make([]*segment, len(shards))
+	for i, sh := range shards {
+		sh.mu.Lock()
+		segs[i] = sh.seg
+	}
+	sp.enforce(sp.budget, segs)
+	for _, sh := range shards {
+		sh.mu.Unlock()
+	}
+}
+
+// SpillStats reports the worker's spill tier accounting across all resident
+// shards (zero value when the server was built without a spill budget).
+func (s *ShardServer) SpillStats() SpillStats {
+	sp := s.spill
+	if sp == nil {
+		return SpillStats{}
+	}
+	s.mu.Lock()
+	shards := make([]*workerShard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.mu.Unlock()
+	segs := make([]*segment, len(shards))
+	for i, sh := range shards {
+		sh.mu.Lock()
+		segs[i] = sh.seg
+	}
+	st := spillStatsOf(sp, segs)
+	for _, sh := range shards {
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // evictLocked drops least-recently-used shards beyond the cap, never the
@@ -296,9 +373,9 @@ func (s *ShardServer) handleStats(bw *bufio.Writer, payload []byte) error {
 	sh.mu.Lock()
 	var w wbuf
 	w.u64(uint64(sh.seg.nsets()))
-	w.i64(int64(len(sh.seg.buf)))
+	w.i64(sh.seg.items())
 	w.i64(sh.seg.width)
-	w.i64(sh.seg.bytes())
+	w.i64(sh.seg.residentBytes())
 	sh.mu.Unlock()
 	return writeFrame(bw, respData, w.b)
 }
@@ -402,10 +479,15 @@ func encodeChunk(res *chunkResult) []byte {
 }
 
 // encodeArenaChunk re-serializes local sets [lfrom, lto) straight from the
-// arena in the same chunk layout encodeChunk produces.
+// arena in the same chunk layout encodeChunk produces. The range may span
+// frozen (possibly spilled) extents and the tail, so sets are gathered
+// through setAt rather than sliced from one backing array.
 func (s *ShardServer) encodeArenaChunk(seg *segment, lfrom, lto int) []byte {
 	base := seg.offsets[lfrom]
-	buf := seg.buf[base:seg.offsets[lto]]
+	buf := make([]uint32, 0, seg.offsets[lto]-base)
+	for i := lfrom; i < lto; i++ {
+		buf = append(buf, seg.setAt(i)...)
+	}
 	var width int64
 	for _, v := range buf {
 		width += int64(s.g.InDegree(v))
@@ -454,7 +536,7 @@ func (s *ShardServer) handlePostings(bw *bufio.Writer, payload []byte) error {
 		return err
 	}
 	sh.mu.Lock()
-	it := Postings{blocks: sh.seg.blocks, v: v, from: from, upto: upto}
+	it := Postings{blocks: sh.seg.blocks, sp: sh.seg.spill, v: v, from: from, upto: upto}
 	var w wbuf
 	var ids []int32
 	for {
@@ -492,7 +574,7 @@ func (s *ShardServer) handleCoverage(bw *bufio.Writer, payload []byte) error {
 	if to > from && len(seeds) > 0 {
 		sh.marks.Reset(to)
 		for _, v := range seeds {
-			it := Postings{blocks: sh.seg.blocks, v: v, from: from, upto: to}
+			it := Postings{blocks: sh.seg.blocks, sp: sh.seg.spill, v: v, from: from, upto: to}
 			for {
 				run, ok := it.Next()
 				if !ok {

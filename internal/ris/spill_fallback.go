@@ -1,0 +1,32 @@
+//go:build !unix
+
+package ris
+
+import (
+	"fmt"
+	"os"
+	"unsafe"
+)
+
+// Without mmap the "mapped" tier is a heap buffer read back from the spill
+// file: every access path and all validation behave identically, but the
+// bytes stay resident, so accounting reports them as such (see
+// spillMappedResident). Mirrors the graph package's !unix fallback.
+type spillMapping struct {
+	data []byte
+}
+
+func (m *spillMapping) release() { m.data = nil }
+
+const spillMappedResident = true
+
+func mapSpillBlock(f *os.File, off, length int64) (*spillMapping, error) {
+	// Back the buffer with []uint64 so the payload keeps the alignment the
+	// in-place casts rely on.
+	words := make([]uint64, (length+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), length)
+	if _, err := f.ReadAt(data, off); err != nil {
+		return nil, fmt.Errorf("%w: read [%d,+%d): %v", ErrBadSpill, off, length, err)
+	}
+	return &spillMapping{data: data}, nil
+}

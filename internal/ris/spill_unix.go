@@ -1,0 +1,38 @@
+//go:build unix
+
+package ris
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// spillMapping is one read-only mmap of a spill block (header + payload).
+// Mappings are created when a unit is spilled and released only when the
+// SpillFile closes, so slices aliasing them stay valid for the life of the
+// store: fault-in is the OS paging bytes back through the shared mapping,
+// and the page cache is the hot tier.
+type spillMapping struct {
+	data []byte
+}
+
+func (m *spillMapping) release() {
+	if m.data != nil {
+		syscall.Munmap(m.data)
+		m.data = nil
+	}
+}
+
+// spillMappedResident reports whether mapped spill payloads occupy heap (the
+// no-mmap fallback reads blocks back into heap buffers; real mappings do
+// not).
+const spillMappedResident = false
+
+func mapSpillBlock(f *os.File, off, length int64) (*spillMapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), off, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("%w: mmap [%d,+%d): %v", ErrBadSpill, off, length, err)
+	}
+	return &spillMapping{data: data}, nil
+}

@@ -74,10 +74,27 @@ type Store interface {
 	CoverageSeeds(seeds []uint32) int64
 }
 
-// Both stores implement Store.
+// SpilledStore is the optional Store extension of stores that can tier cold
+// RR data (frozen arena extents and CSR index blocks) onto a disk spill
+// file. Both built-in stores implement it; whether spilling is ENABLED is a
+// per-store property (StoreOptions.SpillBudgetBytes > 0), reported by
+// SpillStats().Enabled.
+type SpilledStore interface {
+	Store
+	// SpillTo spills globally-coldest units until resident RR bytes drop to
+	// budget (0 spills everything spillable). Counts as a mutation: callers
+	// must hold the same exclusivity as Generate. Returns the first spill
+	// failure; after one the store stops spilling and stays consistent
+	// resident-only.
+	SpillTo(budget int64) error
+	// SpillStats reports the spill tier's accounting.
+	SpillStats() SpillStats
+}
+
+// Both stores implement Store and SpilledStore.
 var (
-	_ Store = (*Collection)(nil)
-	_ Store = (*ShardedCollection)(nil)
+	_ SpilledStore = (*Collection)(nil)
+	_ SpilledStore = (*ShardedCollection)(nil)
 )
 
 // StoreOptions selects and sizes a Store implementation.
@@ -106,6 +123,17 @@ type StoreOptions struct {
 	// RemoteTimeout bounds one worker RPC exchange; ≤0 selects
 	// DefaultRemoteTimeout.
 	RemoteTimeout time.Duration
+	// SpillBudgetBytes > 0 enables the disk spill tier: after any growth
+	// that leaves more than this many resident RR bytes (arena + index,
+	// excluding the shared compiled plan), cold frozen arena extents and
+	// cold CSR index blocks are appended to a spill file and served from a
+	// shared read-only mapping instead of the heap. Results stay
+	// bit-identical at every budget — spilling only moves bytes.
+	SpillBudgetBytes int64
+	// SpillDir is the directory spill files are created in ("" selects the
+	// OS temp directory). Files are process-private scratch, unlinked at
+	// creation where possible.
+	SpillDir string
 }
 
 // NewStore builds the Store described by opt: the flat Collection for
@@ -114,22 +142,37 @@ type StoreOptions struct {
 // for a fixed seed, so the choice is purely about memory topology and
 // generation parallelism.
 func NewStore(s *Sampler, seed uint64, opt StoreOptions) Store {
-	if len(opt.RemoteWorkers) > 0 {
-		return NewRemoteShardedCollection(s, seed, opt)
-	}
-	if opt.Shards < 1 {
-		return NewCollection(s, seed, opt.Workers)
-	}
-	w := opt.ShardWorkers
-	if w <= 0 {
-		total := opt.Workers
-		if total <= 0 {
-			total = runtime.GOMAXPROCS(0)
+	var st Store
+	switch {
+	case len(opt.RemoteWorkers) > 0:
+		st = NewRemoteShardedCollection(s, seed, opt)
+	case opt.Shards < 1:
+		st = NewCollection(s, seed, opt.Workers)
+	default:
+		w := opt.ShardWorkers
+		if w <= 0 {
+			total := opt.Workers
+			if total <= 0 {
+				total = runtime.GOMAXPROCS(0)
+			}
+			w = total / opt.Shards
+			if w < 1 {
+				w = 1
+			}
 		}
-		w = total / opt.Shards
-		if w < 1 {
-			w = 1
+		st = NewShardedCollection(s, seed, opt.Shards, w)
+	}
+	if opt.SpillBudgetBytes > 0 {
+		sp := newSpillState(opt.SpillBudgetBytes, opt.SpillDir)
+		switch c := st.(type) {
+		case *Collection:
+			c.segment.spill = sp
+		case *ShardedCollection:
+			c.spill = sp
+			for _, sg := range c.segs {
+				sg.spill = sp
+			}
 		}
 	}
-	return NewShardedCollection(s, seed, opt.Shards, w)
+	return st
 }

@@ -37,10 +37,14 @@ var ErrUnknownTenant = errors.New("serving: unknown tenant")
 // Config sizes a Manager.
 type Config struct {
 	// BudgetBytes is the global RR-store budget summed across resident
-	// sessions. When a query's growth pushes the total past it, the least
-	// recently used idle sessions are evicted (store and solvers dropped,
-	// graph and compiled plan kept) until the total fits. ≤ 0 disables
-	// eviction.
+	// session stores. When a query's growth pushes the total past it, the
+	// manager first asks sessions with a spill tier (SessionOptions.
+	// SpillBudgetBytes > 0) to push cold arena segments and index blocks to
+	// disk — spilling is non-destructive, so even the busy tenant that just
+	// answered can shed bytes — and only then evicts least recently used
+	// idle sessions (store and solvers dropped, graph and compiled plan
+	// kept) until the total fits. ≤ 0 disables both. Only resident bytes
+	// count against the budget; spilled bytes live in the page cache.
 	BudgetBytes int64
 	// MaxInFlight bounds concurrently executing queries (≤0 selects
 	// runtime.GOMAXPROCS(0)).
@@ -160,6 +164,24 @@ func (t *tenant) storeBytes() (int64, bool) {
 	return sess.Stats().StoreBytes, true
 }
 
+// trySpill asks the tenant's resident session to push everything spillable
+// to its disk tier, reporting the resident bytes freed. Safe while queries
+// are in flight: Session.SpillTo serializes on the session write lock and
+// never changes observable contents.
+func (t *tenant) trySpill() int64 {
+	t.mu.Lock()
+	sess := t.sess
+	t.mu.Unlock()
+	if sess == nil {
+		return 0
+	}
+	freed, err := sess.SpillTo(0)
+	if err != nil {
+		return 0
+	}
+	return freed
+}
+
 // flightKey identifies one coalescable query shape. Epsilon/delta/algorithm
 // are normalized to the session defaults first, so {"k":5} and
 // {"k":5,"epsilon":0.1,"algorithm":"dssa"} share a flight.
@@ -200,6 +222,7 @@ type Manager struct {
 	rejected  atomic.Int64 // ErrOverloaded admissions (HTTP 429)
 	deadlined atomic.Int64 // deadlines expired while queued/coalesced (HTTP 503)
 	evictions atomic.Int64
+	spills    atomic.Int64 // successful spill passes during budget enforcement
 }
 
 // NewManager builds an empty manager; add tenants with AddTenant.
@@ -417,27 +440,38 @@ func (m *Manager) admitAndExecute(ctx context.Context, t *tenant, q stopandstare
 	return sess.Maximize(q)
 }
 
-// enforceBudget evicts least-recently-used idle sessions until the summed
-// store bytes fit the budget. The tenant that just answered (keep) and any
-// tenant with in-flight queries are never victims, so a single tenant may
-// legitimately exceed the budget alone — the alternative is thrashing the
-// one store every query needs. Lock order: Manager.mu, then tenant.mu
-// (inside storeBytes/evict), then session locks; no path reverses it.
+// enforceBudget shrinks the summed resident store bytes under the budget,
+// cheapest remedy first: spill (cold bytes move to disk, the session keeps
+// answering with pages faulting back in), then evict (the whole store is
+// dropped and must regenerate). Spill candidates are every resident
+// session, least recently used first — including the tenant that just
+// answered (keep) and tenants with in-flight queries, since SpillTo is
+// non-destructive and serializes on the session write lock; each is tried
+// at most once per call so the loop always progresses. Eviction keeps the
+// old rules: keep and busy tenants are never victims, so a single tenant
+// may legitimately exceed the budget alone — the alternative is thrashing
+// the one store every query needs. Lock order: Manager.mu, then tenant.mu
+// (inside storeBytes/evict/trySpill), then session locks; no path
+// reverses it.
 func (m *Manager) enforceBudget(keep *tenant) {
 	if m.cfg.BudgetBytes <= 0 {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	tried := make(map[*tenant]bool)
 	for {
 		var total int64
-		var victim *tenant
+		var victim, spillee *tenant
 		for _, t := range m.tenants {
 			bytes, resident := t.storeBytes()
 			if !resident {
 				continue
 			}
 			total += bytes
+			if !tried[t] && (spillee == nil || t.lastUsed < spillee.lastUsed) {
+				spillee = t
+			}
 			if t == keep || t.inflight.Load() > 0 {
 				continue
 			}
@@ -445,7 +479,17 @@ func (m *Manager) enforceBudget(keep *tenant) {
 				victim = t
 			}
 		}
-		if total <= m.cfg.BudgetBytes || victim == nil {
+		if total <= m.cfg.BudgetBytes {
+			return
+		}
+		if spillee != nil {
+			tried[spillee] = true
+			if spillee.trySpill() > 0 {
+				m.spills.Add(1)
+			}
+			continue
+		}
+		if victim == nil {
 			return
 		}
 		victim.evict()
@@ -477,11 +521,16 @@ type Stats struct {
 	Queries, Executed, Coalesced int64
 	// Rejected counts queue-full admissions (429); Deadlined counts
 	// deadlines expired while waiting (503); Evictions counts sessions
-	// dropped for budget.
-	Rejected, Deadlined, Evictions int64
+	// dropped for budget; Spills counts budget-enforcement passes that
+	// moved cold store bytes to a session's disk tier instead.
+	Rejected, Deadlined, Evictions, Spills int64
 	// StoreBytes sums resident session stores — the number the budget
 	// bounds. BudgetBytes echoes the configured budget (0 = unlimited).
 	StoreBytes, BudgetBytes int64
+	// StoreSpilledBytes sums the session bytes currently parked in spill
+	// files (excluded from StoreBytes); SpillFileBytes sums the on-disk
+	// spill file sizes backing them.
+	StoreSpilledBytes, SpillFileBytes int64
 	// InFlight and Queued snapshot the admission gate.
 	InFlight, Queued int
 }
@@ -505,6 +554,7 @@ func (m *Manager) Stats() Stats {
 		Rejected:    m.rejected.Load(),
 		Deadlined:   m.deadlined.Load(),
 		Evictions:   m.evictions.Load(),
+		Spills:      m.spills.Load(),
 		BudgetBytes: m.cfg.BudgetBytes,
 		InFlight:    m.limiter.InFlight(),
 		Queued:      m.limiter.Queued(),
@@ -527,6 +577,8 @@ func (m *Manager) Stats() Stats {
 		if sess != nil {
 			tst.Session = sess.Stats()
 			st.StoreBytes += tst.Session.StoreBytes
+			st.StoreSpilledBytes += tst.Session.StoreSpilledBytes
+			st.SpillFileBytes += tst.Session.SpillFileBytes
 		}
 		st.Tenants = append(st.Tenants, tst)
 	}

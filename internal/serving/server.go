@@ -77,6 +77,8 @@ type TenantStatsResponse struct {
 	Items              int64  `json:"items"`
 	Growths            int64  `json:"growths"`
 	StoreBytes         int64  `json:"store_bytes"`
+	StoreSpilledBytes  int64  `json:"store_spilled_bytes,omitempty"`
+	SpillFileBytes     int64  `json:"spill_file_bytes,omitempty"`
 	PlanBytes          int64  `json:"plan_bytes"`
 	GraphResidentBytes int64  `json:"graph_resident_bytes"`
 	GraphMappedBytes   int64  `json:"graph_mapped_bytes"`
@@ -86,18 +88,24 @@ type TenantStatsResponse struct {
 // StatsResponse is the GET /stats body: the manager-wide counters plus one
 // entry per tenant.
 type StatsResponse struct {
-	UptimeSec   float64               `json:"uptime_sec"`
-	Queries     int64                 `json:"queries"`
-	Executed    int64                 `json:"executed"`
-	Coalesced   int64                 `json:"coalesced"`
-	Rejected429 int64                 `json:"rejected_429"`
-	Timeout503  int64                 `json:"timeout_503"`
-	Evictions   int64                 `json:"evictions"`
-	StoreBytes  int64                 `json:"store_bytes"`
-	BudgetBytes int64                 `json:"budget_bytes"`
-	InFlight    int                   `json:"in_flight"`
-	Queued      int                   `json:"queued"`
-	Tenants     []TenantStatsResponse `json:"tenants"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	Queries     int64   `json:"queries"`
+	Executed    int64   `json:"executed"`
+	Coalesced   int64   `json:"coalesced"`
+	Rejected429 int64   `json:"rejected_429"`
+	Timeout503  int64   `json:"timeout_503"`
+	Evictions   int64   `json:"evictions"`
+	Spills      int64   `json:"spills"`
+	StoreBytes  int64   `json:"store_bytes"`
+	// StoreSpilledBytes sums session bytes parked in spill files (not in
+	// StoreBytes, which the budget bounds); SpillFileBytes is their on-disk
+	// footprint.
+	StoreSpilledBytes int64                 `json:"store_spilled_bytes"`
+	SpillFileBytes    int64                 `json:"spill_file_bytes"`
+	BudgetBytes       int64                 `json:"budget_bytes"`
+	InFlight          int                   `json:"in_flight"`
+	Queued            int                   `json:"queued"`
+	Tenants           []TenantStatsResponse `json:"tenants"`
 }
 
 // Server exposes a Manager over JSON/HTTP. Endpoints:
@@ -261,18 +269,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.mgr.Stats()
 	out := StatsResponse{
-		UptimeSec:   time.Since(s.start).Seconds(),
-		Queries:     st.Queries,
-		Executed:    st.Executed,
-		Coalesced:   st.Coalesced,
-		Rejected429: st.Rejected,
-		Timeout503:  st.Deadlined,
-		Evictions:   st.Evictions,
-		StoreBytes:  st.StoreBytes,
-		BudgetBytes: st.BudgetBytes,
-		InFlight:    st.InFlight,
-		Queued:      st.Queued,
-		Tenants:     make([]TenantStatsResponse, 0, len(st.Tenants)),
+		UptimeSec:         time.Since(s.start).Seconds(),
+		Queries:           st.Queries,
+		Executed:          st.Executed,
+		Coalesced:         st.Coalesced,
+		Rejected429:       st.Rejected,
+		Timeout503:        st.Deadlined,
+		Evictions:         st.Evictions,
+		Spills:            st.Spills,
+		StoreBytes:        st.StoreBytes,
+		StoreSpilledBytes: st.StoreSpilledBytes,
+		SpillFileBytes:    st.SpillFileBytes,
+		BudgetBytes:       st.BudgetBytes,
+		InFlight:          st.InFlight,
+		Queued:            st.Queued,
+		Tenants:           make([]TenantStatsResponse, 0, len(st.Tenants)),
 	}
 	for _, t := range st.Tenants {
 		out.Tenants = append(out.Tenants, TenantStatsResponse{
@@ -287,6 +298,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Items:              t.Session.Items,
 			Growths:            t.Session.Growths,
 			StoreBytes:         t.Session.StoreBytes,
+			StoreSpilledBytes:  t.Session.StoreSpilledBytes,
+			SpillFileBytes:     t.Session.SpillFileBytes,
 			PlanBytes:          t.Session.PlanBytes,
 			GraphResidentBytes: t.Session.GraphResidentBytes,
 			GraphMappedBytes:   t.Session.GraphMappedBytes,

@@ -108,6 +108,14 @@ type SessionOptions struct {
 	// RemoteTimeout bounds one worker RPC exchange (including the sampling
 	// a top-up triggers worker-side); 0 selects a generous default.
 	RemoteTimeout time.Duration
+	// SpillBudgetBytes > 0 enables the store's disk spill tier: whenever a
+	// top-up leaves more than this many resident RR bytes, the coldest
+	// arena extents and CSR index blocks are spilled to disk and served
+	// from a read-only mapping. Results stay bit-identical at every budget;
+	// only residency moves. See ris.StoreOptions.SpillBudgetBytes.
+	SpillBudgetBytes int64
+	// SpillDir is where spill files are created ("" ⇒ the OS temp dir).
+	SpillDir string
 	// Kernel selects the RR sampling implementation (see Options.Kernel).
 	Kernel Kernel
 	// Weights, when non-nil, makes this a weighted (targeted viral
@@ -152,9 +160,17 @@ type SessionStats struct {
 	Samples int
 	// Items is the total number of node entries across resident RR sets.
 	Items int64
-	// StoreBytes approximates the store's own memory: arena, offset tables
-	// and CSR index blocks — excluding the shared plan.
+	// StoreBytes approximates the store's own RESIDENT memory: arena,
+	// offset tables and CSR index blocks held on the heap — excluding the
+	// shared plan and excluding data spilled to disk.
 	StoreBytes int64
+	// StoreSpilledBytes is RR data tiered onto the session's spill file and
+	// served through a read-only mapping (0 without a spill budget).
+	StoreSpilledBytes int64
+	// SpillFileBytes is the spill file's on-disk size, headers and
+	// alignment padding included (the spill-tier overhead is the difference
+	// from StoreSpilledBytes).
+	SpillFileBytes int64
 	// PlanBytes is the compiled sampling plan's memory (0 if the session's
 	// kernel never forced a compile). Shared per (graph, model).
 	PlanBytes int64
@@ -206,6 +222,7 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 		store: ris.NewStore(sampler, opt.Seed, ris.StoreOptions{
 			Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
 			RemoteWorkers: opt.RemoteWorkers, RemoteTimeout: opt.RemoteTimeout,
+			SpillBudgetBytes: opt.SpillBudgetBytes, SpillDir: opt.SpillDir,
 		}),
 		solvers: make(map[int]*kSolver),
 	}
@@ -292,6 +309,10 @@ func (s *Session) Stats() SessionStats {
 	// sampler on the same graph compiles the plan mid-snapshot.
 	plan := s.sampler.PlanBytes()
 	total := s.store.Bytes()
+	var spill ris.SpillStats
+	if ss, ok := s.store.(ris.SpilledStore); ok {
+		spill = ss.SpillStats()
+	}
 	s.mu.RUnlock()
 	s.solMu.Lock()
 	nsolv := len(s.solvers)
@@ -302,11 +323,39 @@ func (s *Session) Stats() SessionStats {
 		Samples:            samples,
 		Items:              items,
 		StoreBytes:         total - plan, // Store.Bytes includes the shared plan
+		StoreSpilledBytes:  spill.SpilledBytes,
+		SpillFileBytes:     spill.FileBytes,
 		PlanBytes:          plan,
 		GraphResidentBytes: s.g.ResidentBytes(),
 		GraphMappedBytes:   s.g.MappedBytes(),
 		Solvers:            nsolv,
 	}
+}
+
+// SpillTo spills the store's coldest units until its resident RR bytes drop
+// to budget (0 spills everything spillable), taking the session write lock
+// for the move. It returns the resident bytes freed; (0, nil) when the
+// session has no spill tier. The serving manager uses this as
+// spill-before-evict: a tenant over the byte budget sheds residency without
+// losing its warm store. Results of subsequent queries are unchanged —
+// spilling only moves bytes.
+func (s *Session) SpillTo(budget int64) (int64, error) {
+	ss, ok := s.store.(ris.SpilledStore)
+	if !ok {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ss.SpillStats().Enabled {
+		return 0, nil
+	}
+	before := s.store.Bytes()
+	err := ss.SpillTo(budget)
+	freed := before - s.store.Bytes()
+	if freed < 0 {
+		freed = 0
+	}
+	return freed, err
 }
 
 // solverFor returns the per-k solver slot, creating it on first use and
