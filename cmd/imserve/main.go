@@ -18,7 +18,8 @@
 //
 //	POST /maximize     {"tenant":"acme","k":50,"epsilon":0.1,"algorithm":"dssa","timeout_ms":5000}
 //	GET  /stats        fleet snapshot: admission, coalescing and eviction counters plus per-tenant stores
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (200 whenever the process is up)
+//	GET  /readyz       readiness (503 while recovering snapshots or while every remote worker is unreachable)
 //	GET  /debug/pprof  profiling, only with -pprof
 //
 // Tenants named via -tenants open their graph files lazily on first
@@ -29,8 +30,16 @@
 // disk spill tier: under -budget pressure cold RR bytes move to spill
 // files first, and eviction becomes the last resort.
 //
+// With -state-dir the RR stores are durable: each tenant snapshots into
+// state-dir/<tenant>/ before budget evictions and on SIGTERM drain, and a
+// restarted process recovers the snapshots (checksum-verified; corrupted
+// suffixes resampled deterministically) instead of resampling from
+// scratch, so warm answers survive restarts. Orphaned snapshot debris and
+// stale -spill-dir files from a crashed predecessor are swept at startup.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
-// requests get up to -drain to finish, then sessions are retired.
+// requests get up to -drain to finish, then sessions are snapshotted
+// (-state-dir) and retired.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 
 	"stopandstare"
 	"stopandstare/internal/cliutil"
+	"stopandstare/internal/ris"
 	"stopandstare/internal/serving"
 )
 
@@ -70,6 +80,7 @@ type options struct {
 	budget        string
 	spillBudget   string // per-session RR-store spill threshold
 	spillDir      string
+	stateDir      string // durable per-tenant RR-store snapshots
 	inFlight      int
 	queued        int
 	timeout       time.Duration
@@ -155,6 +166,7 @@ func buildManager(o options) (*serving.Manager, serving.ServerConfig, error) {
 		BudgetBytes: budget,
 		MaxInFlight: o.inFlight,
 		MaxQueued:   o.queued,
+		StateDir:    o.stateDir,
 	})
 	fail := func(err error) (*serving.Manager, serving.ServerConfig, error) {
 		mgr.Close()
@@ -240,6 +252,7 @@ func main() {
 	flag.StringVar(&o.budget, "budget", "", "global RR-store budget, e.g. 512MiB or 2GiB (empty = unbounded)")
 	flag.StringVar(&o.spillBudget, "spill-budget", "", "per-session resident RR-store budget, e.g. 64MiB; above it cold arena segments and index blocks spill to disk (empty = no spill tier)")
 	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for RR-store spill files (empty = OS temp dir)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "directory for durable per-tenant RR-store snapshots: recovered on startup, written before evictions and on SIGTERM drain (empty = not durable)")
 	flag.IntVar(&o.inFlight, "inflight", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queued, "queue", 0, "max queries waiting beyond -inflight (0 = 4x inflight, -1 = none)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-request wait deadline")
@@ -254,6 +267,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer mgr.Close()
+
+	// Startup hygiene: sweep orphans a crashed predecessor left behind —
+	// spill files are process-private scratch (useless across restarts),
+	// and uncommitted snapshot debris is swept per-tenant by StartRecovery
+	// before recovery reads the directory.
+	if o.spillDir != "" {
+		if removed, err := ris.CleanSpillDir(o.spillDir); err == nil && len(removed) > 0 {
+			log.Printf("imserve: removed %d orphaned spill file(s) from %s", len(removed), o.spillDir)
+		}
+	}
+	// Warm durable tenants in the background (no-op without -state-dir):
+	// the listener below comes up immediately, /readyz answers 503 until
+	// the recovery pass finishes, then traffic lands on recovered stores.
+	mgr.StartRecovery()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

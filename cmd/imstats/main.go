@@ -4,10 +4,15 @@
 // accounting, including the resident/spilled byte split when -spill-budget
 // gives the store a disk spill tier.
 //
+// With -state-dir it reports the committed RR-store snapshot in a
+// durability state directory (imserve tenant subdirectory or imworker
+// state dir) instead of, or in addition to, the graph stats.
+//
 //	imstats -graph nethept.ssg
 //	imstats -graph friendster.sasg
 //	imstats -graph edges.txt -format text -directed
 //	imstats -graph nethept.sasg -rr 200000 -spill-budget 16MiB
+//	imstats -state-dir /var/lib/imserve/state/default
 package main
 
 import (
@@ -32,8 +37,18 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "RR-stream seed for -rr")
 		spillBudget = flag.String("spill-budget", "", "resident RR-byte budget for -rr, e.g. 16MiB; above it cold store blocks spill to disk (empty = no spill tier)")
 		spillDir    = flag.String("spill-dir", "", "directory for -rr spill files (empty = OS temp dir)")
+		stateDir    = flag.String("state-dir", "", "report the committed RR-store snapshot in this directory (generation, sets, bytes)")
 	)
 	flag.Parse()
+	if *stateDir != "" {
+		if err := snapshotStats(*stateDir); err != nil {
+			fmt.Fprintf(os.Stderr, "imstats: %v\n", err)
+			os.Exit(1)
+		}
+		if *path == "" {
+			return
+		}
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "imstats: missing -graph")
 		os.Exit(1)
@@ -71,6 +86,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// snapshotStats prints the committed snapshot manifest of a durability
+// state directory (imserve's state-dir/<tenant>/ or imworker's -state-dir):
+// what a recovery from it would start from, without opening or verifying
+// the snapshot payload itself.
+func snapshotStats(dir string) error {
+	info, err := ris.ReadSnapshotInfo(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:      %s\n", info.Path)
+	fmt.Printf("generation:    %d\n", info.Generation)
+	fmt.Printf("snap-sets:     %d\n", info.Sets)
+	fmt.Printf("snap-bytes:    %.1f MB\n", float64(info.Bytes)/(1<<20))
+	return nil
 }
 
 // sampleStats generates rr RR sets into a store (spill-tiered when

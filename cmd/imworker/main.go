@@ -13,8 +13,11 @@
 // Workers are stateless-recoverable: a shard's contents are a pure function
 // of its spec and the deterministic (seed, id) PRNG streams, so a restarted
 // worker is driven back to the coordinator's state by replay — results stay
-// bit-identical to a single-process store. Use a mapped .sasg graph so all
-// workers on a host share one set of graph pages.
+// bit-identical to a single-process store. With -state-dir the worker also
+// snapshots its shard states on SIGTERM and recovers them (checksum-
+// verified) at startup, so a planned restart resyncs from local disk and
+// the coordinator replays only the delta instead of every shard. Use a
+// mapped .sasg graph so all workers on a host share one set of graph pages.
 //
 // SIGINT/SIGTERM close the listeners and sever connections; coordinators
 // reconnect with backoff and resume when the worker returns.
@@ -47,6 +50,7 @@ func main() {
 		maxShards   = flag.Int("max-shards", 64, "resident shard-state cap; least-recently-used states beyond it are dropped and rebuilt by replay")
 		spillBudget = flag.String("spill-budget", "", "resident RR-byte budget across this worker's shards, e.g. 64MiB; above it cold arena segments and index blocks spill to disk (empty = no spill tier)")
 		spillDir    = flag.String("spill-dir", "", "directory for shard spill files (empty = OS temp dir)")
+		stateDir    = flag.String("state-dir", "", "directory for durable shard-state snapshots: recovered on startup, written on SIGTERM (empty = replay-only recovery)")
 	)
 	flag.Parse()
 
@@ -70,10 +74,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "imworker: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv := ris.NewShardServer(g, ris.ShardServerOptions{
 		SamplingWorkers: *workers, MaxShards: *maxShards,
 		SpillBudgetBytes: spillBytes, SpillDir: *spillDir,
+		StateDir: *stateDir,
 	})
+	if n := srv.RecoveredShards(); n > 0 {
+		log.Printf("imworker: recovered %d shard state(s) from %s", n, *stateDir)
+	}
 	errc := make(chan error, 1)
 	listening := 0
 	if *addr != "" {
@@ -112,6 +126,16 @@ func main() {
 		}
 	case s := <-sig:
 		log.Printf("imworker: %v received, closing", s)
+		if *stateDir != "" {
+			// Snapshot before Close drops the shard states: the restarted
+			// worker then resyncs from its own disk instead of replaying
+			// every shard through the coordinator.
+			if info, err := srv.Persist(); err == nil {
+				log.Printf("imworker: snapshot generation %d, %d sets, %d bytes", info.Generation, info.Sets, info.Bytes)
+			} else {
+				log.Printf("imworker: snapshot failed: %v (coordinators will replay)", err)
+			}
+		}
 		srv.Close()
 	}
 	if *unixPath != "" {

@@ -439,6 +439,70 @@ func RunPerfSuite(seed uint64) (*PerfReport, error) {
 		gauge("spill/resident_"+tier.name, st.StoreBytes)
 		gauge("spill/spilled_bytes_"+tier.name, st.StoreSpilledBytes)
 	}
+
+	// Durability pair (PR 10): time-to-first-answer for a cold process
+	// start (fresh session, full resample + solve) vs a recovered start
+	// (session construction maps a committed snapshot read-only, the first
+	// query serves from the recovered stream without sampling). A seeding
+	// session persists the converged store once up front; the identity
+	// probe proves a recovered session's first answer bit-identical to the
+	// cold one and that it actually recovered rather than resampled, before
+	// anything is timed. The snapshot_bytes gauge pins what the recovery
+	// reads.
+	stateDir := filepath.Join(tmpDir, "state")
+	recOpt := sessOpt
+	recOpt.StateDir = stateDir
+	snapInfo, err := func() (ris.SnapshotInfo, error) {
+		seeder, err := stopandstare.NewSession(g, diffusion.IC, recOpt)
+		if err != nil {
+			return ris.SnapshotInfo{}, err
+		}
+		if _, err := seeder.Maximize(sessQuery); err != nil {
+			return ris.SnapshotInfo{}, err
+		}
+		return seeder.Persist()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	recProbe, err := stopandstare.NewSession(g, diffusion.IC, recOpt)
+	if err != nil {
+		return nil, err
+	}
+	if st := recProbe.Stats(); st.Recovered == 0 {
+		return nil, fmt.Errorf("bench: recovered session resampled instead of recovering")
+	}
+	if res, err := recProbe.Maximize(sessQuery); err != nil {
+		return nil, err
+	} else if !slices.Equal(res.Seeds, coldCheck.Seeds) || res.Samples != coldCheck.Samples {
+		return nil, fmt.Errorf("bench: recovered session drifted from cold run: %v/%d vs %v/%d",
+			res.Seeds, res.Samples, coldCheck.Seeds, coldCheck.Samples)
+	}
+	add("durability/cold_start", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := stopandstare.NewSession(g, diffusion.IC, sessOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("durability/recovered_start", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := stopandstare.NewSession(g, diffusion.IC, recOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Maximize(sessQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	gauge("durability/snapshot_bytes", snapInfo.Bytes)
 	return rep, nil
 }
 

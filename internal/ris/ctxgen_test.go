@@ -1,0 +1,105 @@
+// Cooperative cancellation of store growth: a canceled GenerateCtx must
+// mutate NOTHING — stream, index and width exactly as before the call — so a
+// later identical top-up regenerates the same bit-identical sets. Tested
+// deterministically with a context whose Err() flips after a fixed number of
+// checks, which cancels mid-flight without sleeps or races on wall time.
+package ris
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// countCtx is a context.Context whose Err() starts returning
+// context.Canceled after the first `after` calls. Embedding Background
+// supplies Deadline/Done/Value; the generate paths poll Err() between chunk
+// claims, which is exactly the hook this exploits.
+type countCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func cancelObservables(t *testing.T, label string, st Store) (int, int64, int64) {
+	t.Helper()
+	return st.Len(), st.Items(), st.Width()
+}
+
+func TestGenerateCtxCancellation(t *testing.T) {
+	s := snapTestSampler(t)
+	const seed = 771
+	for _, shards := range []int{0, 1, 3} {
+		st := NewStore(s, seed, snapOpt(shards)).(ContextStore)
+		ref := NewStore(s, seed, StoreOptions{Workers: 2})
+		st.Generate(40)
+		ref.Generate(40)
+		wantLen, wantItems, wantWidth := st.Len(), st.Items(), st.Width()
+
+		// Pre-canceled context: immediate error, nothing mutated.
+		pre, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := st.GenerateCtx(pre, 50); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d pre-canceled GenerateCtx err = %v, want Canceled", shards, err)
+		}
+
+		// Mid-flight cancellation at several flip points: workers poll
+		// ctx.Err() between chunk claims, so the call either completes in
+		// full (cancellation observed too late) or mutates nothing — never
+		// a partial append. after=1 flips before the final post-sampling
+		// check, so at least that case must cancel.
+		canceled := 0
+		for _, after := range []int64{1, 2, 5, 9} {
+			ctx := &countCtx{Context: context.Background(), after: after}
+			err := st.GenerateCtx(ctx, 120)
+			if err == nil {
+				ref.Generate(120)
+				storeObservables(t, "late-cancel full growth", ref, st)
+				wantLen, wantItems, wantWidth = cancelObservables(t, "grown", st)
+				continue
+			}
+			canceled++
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("shards=%d after=%d GenerateCtx err = %v, want Canceled", shards, after, err)
+			}
+			l, it, w := cancelObservables(t, "mid", st)
+			if l != wantLen || it != wantItems || w != wantWidth {
+				t.Fatalf("shards=%d after=%d store mutated by canceled growth: len %d→%d items %d→%d width %d→%d",
+					shards, after, wantLen, l, wantItems, it, wantWidth, w)
+			}
+		}
+		if canceled == 0 {
+			t.Fatalf("shards=%d no flip point canceled — test exercised nothing", shards)
+		}
+
+		// GenerateToCtx shares the path (and is a no-op at or below Len).
+		if err := st.GenerateToCtx(&countCtx{Context: context.Background(), after: 1}, st.Len()+80); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d GenerateToCtx want Canceled", shards)
+		}
+		if err := st.GenerateToCtx(pre, st.Len()); err != nil {
+			t.Fatalf("shards=%d GenerateToCtx at target: %v", shards, err)
+		}
+
+		// The abandoned growth left no trace: the same top-up, uncanceled,
+		// lands bit-identical to a never-interrupted twin.
+		st.Generate(120)
+		ref.Generate(120)
+		storeObservables(t, "post-cancel regrow", ref, st)
+
+		// A canceled context also works through the GenerateToCtx success
+		// path when growth is still needed.
+		if err := st.GenerateToCtx(context.Background(), st.Len()+7); err != nil {
+			t.Fatalf("shards=%d GenerateToCtx grow: %v", shards, err)
+		}
+		ref.Generate(7)
+		storeObservables(t, "ctx regrow", ref, st)
+	}
+}

@@ -1,0 +1,89 @@
+// Remote-tier cancellation: a GenerateCtx abandoned mid-flight while some
+// workers already appended must roll back every mirror (segSnap restore) and
+// leave the coordinator exactly at its pre-call state; workers that ran
+// ahead are reconciled by the idempotent redelivery path on the next growth.
+package ris_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"stopandstare/internal/ris"
+)
+
+// remoteCountCtx cancels after a fixed number of Err() polls (see countCtx
+// in ctxgen_test.go; duplicated here because this is the external package).
+type remoteCountCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *remoteCountCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestGenerateCtxRemoteRollback(t *testing.T) {
+	g := snapClusterGraph(t)
+	s := mustRemoteSampler(t, g)
+	cl := newSnapCluster(t, g, "w0", "w1")
+	const seed = 772
+	opt := ris.StoreOptions{
+		Workers:       2,
+		ShardWorkers:  2,
+		RemoteWorkers: []string{"w0", "w1"},
+		RemoteDial:    cl.dial,
+	}
+	st := ris.NewStore(s, seed, opt).(ris.ContextStore)
+	ref := ris.NewStore(s, seed, ris.StoreOptions{Workers: 2})
+	st.Generate(50)
+	ref.Generate(50)
+	wantLen, wantItems, wantWidth := st.Len(), st.Items(), st.Width()
+
+	// Pre-canceled: upfront check fires before any RPC.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.GenerateCtx(pre, 40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled GenerateCtx err = %v, want Canceled", err)
+	}
+
+	// Flip the context at increasing poll counts: depending on scheduling
+	// zero, one or both shard RPCs complete before the cancellation is
+	// observed, exercising the partial-success rollback. Whatever the
+	// interleaving, the call either completes in full (flip observed too
+	// late) or the coordinator comes back exactly unchanged.
+	canceled := 0
+	for _, after := range []int64{1, 2, 3, 4} {
+		ctx := &remoteCountCtx{Context: context.Background(), after: after}
+		err := st.GenerateCtx(ctx, 90)
+		if err == nil {
+			ref.Generate(90)
+			remoteObservables(t, "late-cancel full growth", ref, st)
+			wantLen, wantItems, wantWidth = st.Len(), st.Items(), st.Width()
+			continue
+		}
+		canceled++
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d GenerateCtx err = %v, want Canceled", after, err)
+		}
+		if st.Len() != wantLen || st.Items() != wantItems || st.Width() != wantWidth {
+			t.Fatalf("after=%d mirrors not rolled back: len %d→%d items %d→%d width %d→%d",
+				after, wantLen, st.Len(), wantItems, st.Items(), wantWidth, st.Width())
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no flip point canceled — test exercised nothing")
+	}
+
+	// Workers may now hold sets the coordinator rolled back; the next growth
+	// replays/redelivers deterministically and everything converges
+	// bit-identical to the uninterrupted twin.
+	st.Generate(90)
+	ref.Generate(90)
+	remoteObservables(t, "post-cancel regrow", ref, st)
+}

@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -83,6 +84,42 @@ func defaultDial(addr string) (net.Conn, error) {
 		return net.DialTimeout("unix", path, 5*time.Second)
 	}
 	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// PingWorker probes a shard worker's liveness with one opPing exchange on a
+// fresh connection: dial, ping, respOK, close. dial == nil selects the
+// default TCP/unix dialer, timeout ≤ 0 a short probe default (readiness
+// checks must not hang behind an unplugged worker). The readiness endpoint
+// of the serving layer is the caller; stores never ping — their reconnect
+// loop subsumes it.
+func PingWorker(addr string, dial DialFunc, timeout time.Duration) error {
+	if dial == nil {
+		dial = defaultDial
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShardUnreachable, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, opPing, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrShardUnreachable, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("%w: %v", ErrShardUnreachable, err)
+	}
+	kind, _, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrShardUnreachable, err)
+	}
+	if kind != respOK {
+		return fmt.Errorf("%w: unexpected ping response kind %d", ErrShardUnreachable, kind)
+	}
+	return nil
 }
 
 // ErrShardUnreachable reports that a remote shard worker could not be

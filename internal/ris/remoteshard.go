@@ -2,6 +2,7 @@ package ris
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -97,14 +98,15 @@ func (rs *RemoteShard) restore(s segSnap) {
 
 // generate asks the worker to append RR sets [gfrom, gto) and mirrors the
 // streamed chunks into the local arena. On success the mirror grew by
-// exactly gto−gfrom sets; on error it is unchanged.
-func (rs *RemoteShard) generate(gfrom, gto int) error {
+// exactly gto−gfrom sets; on error (including ctx cancellation, returned
+// unwrapped) it is unchanged.
+func (rs *RemoteShard) generate(ctx context.Context, gfrom, gto int) error {
 	var w wbuf
 	w.str(rs.key)
 	w.u64(uint64(gfrom))
 	w.u64(uint64(gto))
 	w.u8(1) // mirror the chunks back
-	frames, err := rs.doRPC("generate", opGenerate, w.b, true)
+	frames, err := rs.doRPC(ctx, "generate", opGenerate, w.b, true)
 	if err != nil {
 		return err
 	}
@@ -137,7 +139,7 @@ func (rs *RemoteShard) postings(v uint32, from, upto int) ([]int32, error) {
 	w.u32(v)
 	w.u64(uint64(from))
 	w.u64(uint64(upto))
-	frames, err := rs.doRPC("postings", opPostings, w.b, false)
+	frames, err := rs.doRPC(context.Background(), "postings", opPostings, w.b, false)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +160,7 @@ func (rs *RemoteShard) coverageSeeds(seeds []uint32, from, to int) (int64, error
 	w.u64(uint64(from))
 	w.u64(uint64(to))
 	w.u32s(seeds)
-	frames, err := rs.doRPC("coverage", opCoverage, w.b, false)
+	frames, err := rs.doRPC(context.Background(), "coverage", opCoverage, w.b, false)
 	if err != nil {
 		return 0, err
 	}
@@ -175,14 +177,25 @@ func (rs *RemoteShard) coverageSeeds(seeds []uint32, from, to int) (int64, error
 // over the single-frame one. Fatal worker errors return immediately; resync
 // requests re-open the shard (fresh nonce, deterministic replay) and retry;
 // transport failures drop the connection, back off and retry. A non-nil
-// error is always a *ShardError.
-func (rs *RemoteShard) doRPC(op string, kind byte, payload []byte, stream bool) ([][]byte, error) {
+// error is always a *ShardError — except context cancellation, checked
+// before every attempt and during backoff, which returns ctx's error
+// unwrapped so callers can distinguish "caller gave up" from "shard down".
+func (rs *RemoteShard) doRPC(ctx context.Context, op string, kind byte, payload []byte, stream bool) ([][]byte, error) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < remoteAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d := remoteBackoff[attempt]; d > 0 {
-			time.Sleep(d)
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
 		}
 		if rs.conn == nil {
 			if err := rs.connectLocked(); err != nil {

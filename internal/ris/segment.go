@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sort"
@@ -221,6 +222,17 @@ type chunkResult struct {
 // any partition of the id space across segments, which is what makes the
 // sharded store's sample stream equal the flat one's.
 func sampleChunks(s *Sampler, seed uint64, gfrom, gto, workers int) []chunkResult {
+	results, _ := sampleChunksCtx(context.Background(), s, seed, gfrom, gto, workers)
+	return results
+}
+
+// sampleChunksCtx is sampleChunks with cooperative cancellation: workers
+// check ctx between chunk claims and stop claiming once it fires. On
+// cancellation all sampled chunks are discarded and ctx.Err() is returned —
+// the caller appends nothing, so an abandoned top-up can never leave a
+// half-grown store. Chunks are the granularity: a fired ctx waits at most
+// one chunk's sampling time per worker.
+func sampleChunksCtx(ctx context.Context, s *Sampler, seed uint64, gfrom, gto, workers int) ([]chunkResult, error) {
 	count := gto - gfrom
 	nChunks := (count + chunkSize - 1) / chunkSize
 	results := make([]chunkResult, nChunks)
@@ -239,6 +251,9 @@ func sampleChunks(s *Sampler, seed uint64, gfrom, gto, workers int) []chunkResul
 			st := s.NewState()
 			var r rng.Source // re-seeded per RR set: no per-set allocation
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				ci := int(atomic.AddInt64(&next, 1)) - 1
 				if ci >= nChunks {
 					return
@@ -263,7 +278,10 @@ func sampleChunks(s *Sampler, seed uint64, gfrom, gto, workers int) []chunkResul
 		}()
 	}
 	wg.Wait()
-	return results
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // appendResults merges chunk results into the arena in chunk order (global

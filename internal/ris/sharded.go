@@ -1,6 +1,8 @@
 package ris
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -52,6 +54,8 @@ type ShardedCollection struct {
 	spill   *spillState // shared spill tier across all segs; nil ⇒ disabled
 
 	covMark epoch.Marks // visited ids for CoverageRangeSeeds, grows to Len()
+
+	snap *snapFile // recovered-from snapshot; keeps its mapping alive
 }
 
 // genEpoch records how one Generate call's global id range [from, to) was
@@ -313,6 +317,15 @@ func (sc *ShardedCollection) GenerateTo(target int) {
 	}
 }
 
+// GenerateToCtx is GenerateTo with cooperative cancellation (see
+// GenerateCtx).
+func (sc *ShardedCollection) GenerateToCtx(ctx context.Context, target int) error {
+	if extra := target - sc.length; extra > 0 {
+		return sc.GenerateCtx(ctx, extra)
+	}
+	return nil
+}
+
 // Generate appends count new RR sets: the global id range [Len, Len+count)
 // is split into one contiguous sub-range per shard (balanced by SET COUNT
 // via the even-split formula — RR-set sizes are skewed, so shard item loads
@@ -322,8 +335,25 @@ func (sc *ShardedCollection) GenerateTo(target int) {
 // to the flat store for any shard/worker count, because set content depends
 // only on the global id.
 func (sc *ShardedCollection) Generate(count int) {
+	// Background never cancels, and non-cancellation failures panic as
+	// *ShardError inside, so the error is structurally nil.
+	sc.GenerateCtx(context.Background(), count)
+}
+
+// GenerateCtx is Generate with cooperative cancellation. In-process shards
+// run a two-phase epoch — every shard SAMPLES its sub-range first (workers
+// checking ctx between chunk claims), and only if all sampling completed is
+// anything appended — so a canceled call mutates nothing. Remote shards
+// reuse the all-or-nothing mirror rollback (segSnap): on cancellation every
+// mirror is restored to its pre-call extent and ctx.Err() is returned;
+// workers that did append stay ahead and the idempotent generate redelivery
+// absorbs that on the next top-up.
+func (sc *ShardedCollection) GenerateCtx(ctx context.Context, count int) error {
 	if count <= 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	from := sc.length
 	S := len(sc.segs)
@@ -340,8 +370,15 @@ func (sc *ShardedCollection) Generate(count int) {
 		e.base[s] = sc.segs[s].nsets()
 	}
 	if sc.remotes != nil {
-		sc.generateRemote(&e)
+		if err := sc.generateRemote(ctx, &e); err != nil {
+			return err
+		}
 	} else {
+		// Phase 1: sample every shard's sub-range; nothing is appended yet,
+		// so cancellation (or a worker checking ctx mid-range) leaves the
+		// store untouched.
+		sampled := make([][]chunkResult, S)
+		errs := make([]error, S)
 		var wg sync.WaitGroup
 		for s := 0; s < S; s++ {
 			glo, ghi := e.bounds[s], e.bounds[s+1]
@@ -349,16 +386,34 @@ func (sc *ShardedCollection) Generate(count int) {
 				continue
 			}
 			wg.Add(1)
-			go func(sg *segment, glo, ghi int) {
+			go func(s, glo, ghi int) {
+				defer wg.Done()
+				sampled[s], errs[s] = sampleChunksCtx(ctx, sc.sampler, sc.seed, glo, ghi, sc.shardWorkers)
+			}(s, glo, ghi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		// Phase 2: pure in-memory appends, disjoint per shard.
+		for s := 0; s < S; s++ {
+			glo, ghi := e.bounds[s], e.bounds[s+1]
+			if ghi <= glo {
+				continue
+			}
+			wg.Add(1)
+			go func(sg *segment, results []chunkResult, glo, ghi int) {
 				defer wg.Done()
 				lfrom := sg.nsets()
-				sg.appendResults(sampleChunks(sc.sampler, sc.seed, glo, ghi, sc.shardWorkers))
+				sg.appendResults(results)
 				sg.gids = slices.Grow(sg.gids, ghi-glo)
 				for g := glo; g < ghi; g++ {
 					sg.gids = append(sg.gids, int32(g))
 				}
 				sg.appendIndexBlock(lfrom, sg.nsets(), sc.shardWorkers)
-			}(sc.segs[s], glo, ghi)
+			}(sc.segs[s], sampled[s], glo, ghi)
 		}
 		wg.Wait()
 	}
@@ -367,15 +422,18 @@ func (sc *ShardedCollection) Generate(count int) {
 	if sc.spill != nil {
 		sc.spill.enforce(sc.spill.budget, sc.segs)
 	}
+	return nil
 }
 
 // generateRemote fans one epoch's shard sub-ranges out to the workers in
 // parallel. On any shard failure every mirror is rolled back to its
 // pre-call extent — the store's observable state is unchanged — and the
-// failure is raised as a *ShardError panic (see ShardError). Workers that
-// did append stay ahead of the mirror; the idempotent generate redelivery
-// and the nonce resync absorb that on the next attempt.
-func (sc *ShardedCollection) generateRemote(e *genEpoch) {
+// failure is raised as a *ShardError panic (see ShardError), except for
+// context cancellation, which is returned as a plain error (the caller
+// chose to abandon the top-up; it is not a shard fault). Workers that did
+// append stay ahead of the mirror; the idempotent generate redelivery and
+// the nonce resync absorb that on the next attempt.
+func (sc *ShardedCollection) generateRemote(ctx context.Context, e *genEpoch) error {
 	S := len(sc.remotes)
 	snaps := make([]segSnap, S)
 	errs := make([]error, S)
@@ -389,18 +447,34 @@ func (sc *ShardedCollection) generateRemote(e *genEpoch) {
 		wg.Add(1)
 		go func(s, glo, ghi int) {
 			defer wg.Done()
-			errs[s] = sc.remotes[s].generate(glo, ghi)
+			errs[s] = sc.remotes[s].generate(ctx, glo, ghi)
 		}(s, glo, ghi)
 	}
 	wg.Wait()
+	rollback := func() {
+		for i := range sc.remotes {
+			sc.remotes[i].restore(snaps[i])
+		}
+	}
+	// Cancellation wins over shard faults: with a fired ctx, other shards'
+	// errors are usually secondary (their RPCs were abandoned too).
+	if err := ctx.Err(); err != nil {
+		rollback()
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return err // custom ctx implementations have no recorded cause
+	}
 	for s, err := range errs {
 		if err != nil {
-			for i := range sc.remotes {
-				sc.remotes[i].restore(snaps[i])
+			rollback()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
 			}
 			shardPanic(sc.remotes[s].addr, "generate", err)
 		}
 	}
+	return nil
 }
 
 // PostingsUpto returns an iterator over the ids < upto of RR sets

@@ -40,21 +40,30 @@ type ShardServerOptions struct {
 	// SpillDir is where the worker's spill file is created ("" selects the
 	// OS temp directory).
 	SpillDir string
+	// StateDir enables worker shard-state durability: Persist snapshots
+	// every resident shard there, and NewShardServer recovers the committed
+	// snapshot, so a coordinator re-opening a shard under its persisted
+	// (key, nonce) replays only the delta instead of the whole stream.
+	// Stale temporaries are swept at construction. "" disables persistence.
+	StateDir string
 }
 
 // ShardServer serves one graph's RR-set shards to remote coordinators.
 type ShardServer struct {
-	g       *graph.Graph
-	workers int
-	max     int
-	spill   *spillState // shared across all resident shards; nil ⇒ disabled
+	g        *graph.Graph
+	workers  int
+	max      int
+	spill    *spillState // shared across all resident shards; nil ⇒ disabled
+	stateDir string      // "" ⇒ no shard-state durability
+	snap     *snapFile   // recovered-from snapshot; keeps its mapping alive
 
-	mu     sync.Mutex
-	shards map[string]*workerShard
-	clock  uint64 // LRU clock, bumped on every shard touch
-	lns    map[net.Listener]struct{}
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu        sync.Mutex
+	shards    map[string]*workerShard
+	clock     uint64 // LRU clock, bumped on every shard touch
+	recovered int    // shards restored from the state dir at construction
+	lns       map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
 }
 
 // workerShard is one resident shard: a sampler bound to the shard's spec
@@ -86,6 +95,14 @@ func NewShardServer(g *graph.Graph, opt ShardServerOptions) *ShardServer {
 	}
 	if opt.SpillBudgetBytes > 0 {
 		s.spill = newSpillState(opt.SpillBudgetBytes, opt.SpillDir)
+	}
+	if opt.StateDir != "" {
+		s.stateDir = opt.StateDir
+		// Durability is best-effort on the worker: an unusable snapshot must
+		// never block serving, because every shard is recoverable by
+		// deterministic replay from the coordinator.
+		CleanStateDir(opt.StateDir)
+		s.recovered, _ = s.recoverShards(opt.StateDir)
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"runtime"
 	"sync/atomic"
@@ -121,10 +122,15 @@ func (sf *SpillFile) append(kind byte, parts ...[]byte) (int, error) {
 		plen += int64(len(p))
 	}
 	off := sf.size
+	var crc uint32
+	for _, p := range parts {
+		crc = crc32.Update(crc, castagnoli, p)
+	}
 	var hdr [spillHdrSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
 	hdr[4] = kind
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(plen))
+	binary.LittleEndian.PutUint32(hdr[16:], crc)
 	if _, err := sf.writeAt(hdr[:], off); err != nil {
 		return 0, &SpillWriteError{Path: sf.path, Err: err}
 	}
@@ -181,8 +187,15 @@ func (sf *SpillFile) mapPayload(id int, kind byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	payload := m.data[spillHdrSize : spillHdrSize+meta.length]
+	// CRC32C over the payload catches silent bit rot, not just clobbered
+	// headers or truncation.
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[16:]); got != want {
+		m.release()
+		return nil, fmt.Errorf("%w: block %d checksum %#x, want %#x", ErrBadSpill, id, got, want)
+	}
 	sf.maps = append(sf.maps, m)
-	return m.data[spillHdrSize : spillHdrSize+meta.length], nil
+	return payload, nil
 }
 
 // Close releases every mapping and the backing file. It must only run once

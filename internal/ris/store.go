@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"context"
 	"runtime"
 	"time"
 )
@@ -91,10 +92,27 @@ type SpilledStore interface {
 	SpillStats() SpillStats
 }
 
-// Both stores implement Store and SpilledStore.
+// ContextStore is the optional Store extension for cancelable growth: both
+// generate forms take a context checked cooperatively between sampling
+// chunk claims (and between remote RPC attempts). On cancellation the call
+// returns the context's error having mutated NOTHING — stream, index and
+// width are exactly as before the call, so a later identical top-up
+// regenerates the same bit-identical sets. Both built-in stores implement
+// it.
+type ContextStore interface {
+	Store
+	// GenerateCtx is Generate with cooperative cancellation.
+	GenerateCtx(ctx context.Context, count int) error
+	// GenerateToCtx is GenerateTo with cooperative cancellation.
+	GenerateToCtx(ctx context.Context, target int) error
+}
+
+// Both stores implement Store, SpilledStore and ContextStore.
 var (
 	_ SpilledStore = (*Collection)(nil)
 	_ SpilledStore = (*ShardedCollection)(nil)
+	_ ContextStore = (*Collection)(nil)
+	_ ContextStore = (*ShardedCollection)(nil)
 )
 
 // StoreOptions selects and sizes a Store implementation.

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"stopandstare"
+	"stopandstare/internal/ris"
 )
 
 // ErrUnknownTenant reports a query naming a tenant the manager does not
@@ -62,6 +64,15 @@ type Config struct {
 	// instead of races against the leader finishing first. Production
 	// configs leave it nil.
 	OnExecute func(tenant string)
+	// StateDir, when non-empty, makes tenant sessions durable: each tenant
+	// gets the subdirectory StateDir/<name>, its session recovers the RR
+	// store from the committed snapshot there (verified; best-effort), and
+	// the manager snapshots the store back before budget evictions and on
+	// retirement (RemoveTenant/Close — the SIGTERM drain path). Recovered
+	// sets were not resampled, so a restarted process answers its first
+	// queries at warm speed. StartRecovery warms durable tenants eagerly
+	// and drives the readiness endpoint.
+	StateDir string
 }
 
 // TenantConfig describes one tenant: where its graph comes from and how
@@ -89,8 +100,9 @@ type TenantConfig struct {
 // only the RR store — exactly, since the stream is a pure function of the
 // session seed.
 type tenant struct {
-	name string
-	cfg  TenantConfig
+	name     string
+	cfg      TenantConfig
+	stateDir string // per-tenant snapshot directory ("" = not durable)
 
 	mu        sync.Mutex // guards g/ownsGraph/sess transitions
 	g         *stopandstare.Graph
@@ -101,6 +113,7 @@ type tenant struct {
 	inflight  atomic.Int64
 	queries   atomic.Int64
 	evictions atomic.Int64
+	persists  atomic.Int64
 }
 
 // session returns the tenant's live session, opening the graph and
@@ -119,7 +132,13 @@ func (t *tenant) session() (*stopandstare.Session, error) {
 		t.g = g
 		t.ownsGraph = true
 	}
-	sess, err := stopandstare.NewSession(t.g, t.cfg.Model, t.cfg.Session)
+	sopt := t.cfg.Session
+	if t.stateDir != "" {
+		// Durable tenants recover inside NewSession: a committed matching
+		// snapshot warms the store, anything else starts cold.
+		sopt.StateDir = t.stateDir
+	}
+	sess, err := stopandstare.NewSession(t.g, t.cfg.Model, sopt)
 	if err != nil {
 		return nil, fmt.Errorf("serving: tenant %q: %w", t.name, err)
 	}
@@ -127,11 +146,26 @@ func (t *tenant) session() (*stopandstare.Session, error) {
 	return sess, nil
 }
 
+// persistLocked snapshots the tenant's resident session, best-effort: a
+// failed snapshot (disk full, no state dir) must never block eviction or
+// retirement — the store regenerates bit-identically either way, durability
+// only changes the cost of coming back. Caller holds t.mu.
+func (t *tenant) persistLocked() {
+	if t.sess == nil || t.stateDir == "" {
+		return
+	}
+	if _, err := t.sess.Persist(); err == nil {
+		t.persists.Add(1)
+	}
+}
+
 // evict drops the tenant's session — the RR store and per-k solvers — but
 // keeps the graph open and the compiled plan cached, so a later query
-// rebuilds the store bit-identically without recompiling anything.
+// rebuilds the store bit-identically without recompiling anything. Durable
+// tenants snapshot first: re-admission then recovers instead of resampling.
 func (t *tenant) evict() {
 	t.mu.Lock()
+	t.persistLocked()
 	t.sess = nil
 	t.mu.Unlock()
 	t.evictions.Add(1)
@@ -139,9 +173,12 @@ func (t *tenant) evict() {
 
 // retire releases everything: the session, the graph's cached plans, and
 // the graph itself if the manager opened it (mapped graphs unmap here).
+// Durable tenants snapshot first — this is the SIGTERM drain path, so the
+// next process starts from exactly this store.
 func (t *tenant) retire() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.persistLocked()
 	t.sess = nil
 	if t.g != nil {
 		stopandstare.DropCachedPlans(t.g)
@@ -223,6 +260,8 @@ type Manager struct {
 	deadlined atomic.Int64 // deadlines expired while queued/coalesced (HTTP 503)
 	evictions atomic.Int64
 	spills    atomic.Int64 // successful spill passes during budget enforcement
+
+	recovering atomic.Int32 // StartRecovery passes still running
 }
 
 // NewManager builds an empty manager; add tenants with AddTenant.
@@ -264,8 +303,74 @@ func (m *Manager) AddTenant(name string, cfg TenantConfig) error {
 	// Caller-provided graphs are held from admission (ownsGraph stays
 	// false: the caller closes them); GraphFile tenants stay empty until
 	// their first query opens the file.
-	m.tenants[name] = &tenant{name: name, cfg: cfg, g: cfg.Graph}
+	t := &tenant{name: name, cfg: cfg, g: cfg.Graph}
+	if m.cfg.StateDir != "" {
+		t.stateDir = filepath.Join(m.cfg.StateDir, name)
+	}
+	m.tenants[name] = t
 	return nil
+}
+
+// StartRecovery warms durable tenants in the background: each tenant state
+// directory is first swept of orphans (uncommitted *.tmp files and snapshot
+// files the manifest no longer references — debris of crashes mid-persist),
+// then tenants holding a committed snapshot get their session built now, so
+// the recovered store is resident before the first query instead of on it.
+// Readiness (Recovering) reports false until the pass completes; liveness
+// is unaffected. No-op without a StateDir.
+func (m *Manager) StartRecovery() {
+	if m.cfg.StateDir == "" {
+		return
+	}
+	m.mu.Lock()
+	ts := make([]*tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		ts = append(ts, t)
+	}
+	m.mu.Unlock()
+	m.recovering.Add(1)
+	go func() {
+		defer m.recovering.Add(-1)
+		for _, t := range ts {
+			if t.stateDir == "" {
+				continue
+			}
+			ris.CleanStateDir(t.stateDir)
+			if _, err := ris.ReadSnapshotInfo(t.stateDir); err != nil {
+				continue // nothing committed: stay lazy, admit cold on first query
+			}
+			// session() recovers via SessionOptions.StateDir; failures
+			// (missing graph file, mismatched snapshot) leave the tenant
+			// lazy and are surfaced by its first query as usual.
+			t.session()
+		}
+	}()
+}
+
+// Recovering reports whether a StartRecovery pass is still warming durable
+// tenants. The readiness endpoint serves 503 while this is true: queries
+// would work — sessions build on demand — but would pay recovery latency
+// the caller asked to hide by probing readiness.
+func (m *Manager) Recovering() bool { return m.recovering.Load() > 0 }
+
+// WorkerAddrs returns the union of remote shard-worker addresses across
+// all tenants, sorted — the set the readiness probe pings. Empty for
+// in-process topologies.
+func (m *Manager) WorkerAddrs() []string {
+	m.mu.Lock()
+	seen := map[string]bool{}
+	for _, t := range m.tenants {
+		for _, a := range t.cfg.Session.RemoteWorkers {
+			seen[a] = true
+		}
+	}
+	m.mu.Unlock()
+	addrs := make([]string, 0, len(seen))
+	for a := range seen {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs
 }
 
 // RemoveTenant retires a tenant: new queries get ErrUnknownTenant
@@ -437,7 +542,12 @@ func (m *Manager) admitAndExecute(ctx context.Context, t *tenant, q stopandstare
 		return nil, err
 	}
 	m.executed.Add(1)
-	return sess.Maximize(q)
+	// The request context rides into store growth: an abandoned request
+	// cancels its top-up between sampling chunks instead of finishing work
+	// nobody will read. Cancellation never tears the store — a canceled
+	// top-up mutates nothing — so a coalesced follower whose leader was
+	// canceled can simply retry and resume from the same clean prefix.
+	return sess.MaximizeContext(ctx, q)
 }
 
 // enforceBudget shrinks the summed resident store bytes under the budget,
@@ -508,6 +618,7 @@ type TenantStats struct {
 	Model     string
 	Queries   int64
 	Evictions int64
+	Persists  int64 // snapshots committed (eviction + retirement paths)
 	Session   stopandstare.SessionStats
 }
 
@@ -524,6 +635,12 @@ type Stats struct {
 	// dropped for budget; Spills counts budget-enforcement passes that
 	// moved cold store bytes to a session's disk tier instead.
 	Rejected, Deadlined, Evictions, Spills int64
+	// Recovered sums RR sets restored from snapshots across resident
+	// sessions — samples this process never paid to generate. Persists
+	// counts snapshots committed; SnapshotBytes sums current snapshot file
+	// sizes. Recovering mirrors Manager.Recovering (readiness).
+	Recovered, Persists, SnapshotBytes int64
+	Recovering                         bool
 	// StoreBytes sums resident session stores — the number the budget
 	// bounds. BudgetBytes echoes the configured budget (0 = unlimited).
 	StoreBytes, BudgetBytes int64
@@ -558,6 +675,7 @@ func (m *Manager) Stats() Stats {
 		BudgetBytes: m.cfg.BudgetBytes,
 		InFlight:    m.limiter.InFlight(),
 		Queued:      m.limiter.Queued(),
+		Recovering:  m.Recovering(),
 	}
 	for _, t := range ts {
 		t.mu.Lock()
@@ -568,7 +686,9 @@ func (m *Manager) Stats() Stats {
 			Resident:  sess != nil,
 			Queries:   t.queries.Load(),
 			Evictions: t.evictions.Load(),
+			Persists:  t.persists.Load(),
 		}
+		st.Persists += tst.Persists
 		if g != nil {
 			tst.Nodes = g.NumNodes()
 			tst.Edges = g.NumEdges()
@@ -579,6 +699,8 @@ func (m *Manager) Stats() Stats {
 			st.StoreBytes += tst.Session.StoreBytes
 			st.StoreSpilledBytes += tst.Session.StoreSpilledBytes
 			st.SpillFileBytes += tst.Session.SpillFileBytes
+			st.Recovered += int64(tst.Session.Recovered)
+			st.SnapshotBytes += tst.Session.SnapshotBytes
 		}
 		st.Tenants = append(st.Tenants, tst)
 	}

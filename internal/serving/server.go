@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"stopandstare"
+	"stopandstare/internal/ris"
 )
 
 // maxRequestBytes bounds a /maximize request body: queries are a handful
@@ -83,6 +85,9 @@ type TenantStatsResponse struct {
 	GraphResidentBytes int64  `json:"graph_resident_bytes"`
 	GraphMappedBytes   int64  `json:"graph_mapped_bytes"`
 	Solvers            int    `json:"solvers"`
+	Recovered          int    `json:"recovered,omitempty"`
+	SnapshotBytes      int64  `json:"snapshot_bytes,omitempty"`
+	Persists           int64  `json:"persists,omitempty"`
 }
 
 // StatsResponse is the GET /stats body: the manager-wide counters plus one
@@ -100,19 +105,45 @@ type StatsResponse struct {
 	// StoreSpilledBytes sums session bytes parked in spill files (not in
 	// StoreBytes, which the budget bounds); SpillFileBytes is their on-disk
 	// footprint.
-	StoreSpilledBytes int64                 `json:"store_spilled_bytes"`
-	SpillFileBytes    int64                 `json:"spill_file_bytes"`
-	BudgetBytes       int64                 `json:"budget_bytes"`
-	InFlight          int                   `json:"in_flight"`
-	Queued            int                   `json:"queued"`
-	Tenants           []TenantStatsResponse `json:"tenants"`
+	StoreSpilledBytes int64 `json:"store_spilled_bytes"`
+	SpillFileBytes    int64 `json:"spill_file_bytes"`
+	BudgetBytes       int64 `json:"budget_bytes"`
+	// Recovered sums RR sets restored from snapshots across resident
+	// sessions; Persists counts snapshots committed; SnapshotBytes sums
+	// current snapshot file sizes; Recovering mirrors /readyz's warm-up
+	// condition.
+	Recovered     int64                 `json:"recovered"`
+	Persists      int64                 `json:"persists"`
+	SnapshotBytes int64                 `json:"snapshot_bytes"`
+	Recovering    bool                  `json:"recovering,omitempty"`
+	InFlight      int                   `json:"in_flight"`
+	Queued        int                   `json:"queued"`
+	Tenants       []TenantStatsResponse `json:"tenants"`
+}
+
+// ReadyzResponse is the GET /readyz body: overall readiness plus the
+// conditions that gate it. Workers maps each configured remote shard-worker
+// address to its probe result (absent for in-process topologies).
+type ReadyzResponse struct {
+	Ready      bool            `json:"ready"`
+	Recovering bool            `json:"recovering,omitempty"`
+	Workers    map[string]bool `json:"workers,omitempty"`
 }
 
 // Server exposes a Manager over JSON/HTTP. Endpoints:
 //
 //	POST /maximize  {"tenant":"a","k":50,"epsilon":0.1,"algorithm":"dssa","timeout_ms":2000}
 //	GET  /stats     manager + per-tenant snapshot
-//	GET  /healthz   liveness
+//	GET  /healthz   liveness: 200 whenever the process can answer at all
+//	GET  /readyz    readiness: 503 while durable tenants are still
+//	                recovering, or while every remote shard worker is
+//	                unreachable (degraded to zero capacity); body reports
+//	                per-worker reachability
+//
+// Liveness and readiness are deliberately split: a recovering or degraded
+// process must NOT be restarted (that would lose exactly the state it is
+// rebuilding) but must not receive traffic either — orchestrators probe
+// /healthz to decide restarts and /readyz to decide routing.
 //
 // Backpressure surfaces as status codes: 429 (admission queue full) and
 // 503 (deadline expired while waiting), both with Retry-After, so an
@@ -140,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -262,6 +294,59 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// workerProbeTimeout bounds one readiness ping; probes run in parallel, so
+// it also bounds the whole /readyz worker sweep. Short by design — a probe
+// that needs longer than this is unreachable for routing purposes.
+const workerProbeTimeout = 2 * time.Second
+
+// handleReadyz reports routing readiness. Not-ready conditions:
+//
+//   - a StartRecovery pass is still warming durable tenants (queries would
+//     work but pay the recovery latency readiness exists to hide);
+//   - every configured remote shard worker fails its liveness ping — the
+//     process has zero sampling capacity and each query would burn its
+//     whole reconnect budget before failing. A single unreachable worker
+//     does NOT flip readiness: stores reconnect-and-replay through blips,
+//     and parking the whole process over one flapping worker sheds far
+//     more capacity than the blip itself. The body's per-worker map gives
+//     operators the partial picture.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	resp := ReadyzResponse{Ready: true, Recovering: s.mgr.Recovering()}
+	if resp.Recovering {
+		resp.Ready = false
+	}
+	if addrs := s.mgr.WorkerAddrs(); len(addrs) > 0 {
+		resp.Workers = make(map[string]bool, len(addrs))
+		results := make([]bool, len(addrs))
+		var wg sync.WaitGroup
+		for i, a := range addrs {
+			wg.Add(1)
+			go func(i int, a string) {
+				defer wg.Done()
+				results[i] = ris.PingWorker(a, nil, workerProbeTimeout) == nil
+			}(i, a)
+		}
+		wg.Wait()
+		reachable := false
+		for i, a := range addrs {
+			resp.Workers[a] = results[i]
+			reachable = reachable || results[i]
+		}
+		if !reachable {
+			resp.Ready = false
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
@@ -281,6 +366,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StoreSpilledBytes: st.StoreSpilledBytes,
 		SpillFileBytes:    st.SpillFileBytes,
 		BudgetBytes:       st.BudgetBytes,
+		Recovered:         st.Recovered,
+		Persists:          st.Persists,
+		SnapshotBytes:     st.SnapshotBytes,
+		Recovering:        st.Recovering,
 		InFlight:          st.InFlight,
 		Queued:            st.Queued,
 		Tenants:           make([]TenantStatsResponse, 0, len(st.Tenants)),
@@ -304,6 +393,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			GraphResidentBytes: t.Session.GraphResidentBytes,
 			GraphMappedBytes:   t.Session.GraphMappedBytes,
 			Solvers:            t.Session.Solvers,
+			Recovered:          t.Session.Recovered,
+			SnapshotBytes:      t.Session.SnapshotBytes,
+			Persists:           t.Persists,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

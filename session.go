@@ -1,7 +1,9 @@
 package stopandstare
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,6 +65,9 @@ type Session struct {
 	marks     sync.Pool // *epoch.Marks, per-query coverage scratch
 	queries   atomic.Int64
 	growths   atomic.Int64
+
+	recovered     int          // RR sets restored from a snapshot at build
+	snapshotBytes atomic.Int64 // last committed/recovered snapshot file size
 }
 
 // sessionSolverLimit bounds the per-k solver cache. Each solver costs
@@ -116,6 +121,16 @@ type SessionOptions struct {
 	SpillBudgetBytes int64
 	// SpillDir is where spill files are created ("" ⇒ the OS temp dir).
 	SpillDir string
+	// StateDir, when non-empty, makes the session durable: NewSession
+	// recovers the RR store from the directory's committed snapshot (if its
+	// seed, kernel, model and shard topology match — verified, with
+	// corrupted block suffixes discarded and resampled deterministically),
+	// and Session.Persist writes crash-safe snapshots back. Recovery is
+	// best-effort: a missing, mismatched or unreadable snapshot simply
+	// starts the session cold; it never blocks serving. Results are
+	// bit-identical either way — a recovered store holds exactly the sets a
+	// cold one would regenerate.
+	StateDir string
 	// Kernel selects the RR sampling implementation (see Options.Kernel).
 	Kernel Kernel
 	// Weights, when non-nil, makes this a weighted (targeted viral
@@ -186,6 +201,15 @@ type SessionStats struct {
 	GraphMappedBytes int64
 	// Solvers is the number of cached per-k incremental solvers.
 	Solvers int
+	// Recovered is the number of RR sets restored from a StateDir snapshot
+	// when the session was built (0 for cold starts and non-durable
+	// sessions). Those sets were not resampled: a recovered session's
+	// time-to-first-answer is what this bought.
+	Recovered int
+	// SnapshotBytes is the size of the session's current snapshot file —
+	// the one recovered from at build, replaced by each successful Persist
+	// (0 when neither happened).
+	SnapshotBytes int64
 }
 
 // NewSession builds a serving session for (g, model). The heavy pieces are
@@ -214,20 +238,61 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 		return nil, err
 	}
 	sampler = sampler.WithKernel(opt.Kernel)
+	sopt := ris.StoreOptions{
+		Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
+		RemoteWorkers: opt.RemoteWorkers, RemoteTimeout: opt.RemoteTimeout,
+		SpillBudgetBytes: opt.SpillBudgetBytes, SpillDir: opt.SpillDir,
+	}
 	s := &Session{
 		opt:     opt,
 		g:       g,
 		sampler: sampler,
 		inst:    inst,
-		store: ris.NewStore(sampler, opt.Seed, ris.StoreOptions{
-			Workers: opt.Workers, Shards: opt.Shards, ShardWorkers: opt.ShardWorkers,
-			RemoteWorkers: opt.RemoteWorkers, RemoteTimeout: opt.RemoteTimeout,
-			SpillBudgetBytes: opt.SpillBudgetBytes, SpillDir: opt.SpillDir,
-		}),
 		solvers: make(map[int]*kSolver),
+	}
+	if opt.StateDir != "" {
+		// Best-effort recovery: a committed, matching snapshot warms the
+		// store (corrupt suffixes are discarded and resampled inside
+		// Recover); anything else — no snapshot, wrong topology, corrupt
+		// beyond the store header — starts cold. Either way the session is
+		// usable, and bit-identical to a cold one at every query.
+		if st, info, err := ris.Recover(sampler, opt.Seed, sopt, opt.StateDir); err == nil {
+			s.store = st
+			s.recovered = info.Sets
+			s.snapshotBytes.Store(info.SnapshotBytes)
+		}
+	}
+	if s.store == nil {
+		s.store = ris.NewStore(sampler, opt.Seed, sopt)
 	}
 	s.marks.New = func() any { return new(epoch.Marks) }
 	return s, nil
+}
+
+// Persist writes a crash-safe snapshot of the session's RR store into the
+// session's StateDir and commits it atomically (snapshot file fsynced, then
+// the manifest renamed over the previous one — a crash at any point leaves
+// either the old or the new snapshot committed, never a torn mix). It takes
+// the session write lock, so it serializes with store growth but not with
+// serving reads. Sessions without a StateDir return ris.ErrNoSnapshot.
+func (s *Session) Persist() (ris.SnapshotInfo, error) {
+	if s.opt.StateDir == "" {
+		return ris.SnapshotInfo{}, ris.ErrNoSnapshot
+	}
+	ps, ok := s.store.(ris.PersistentStore)
+	if !ok {
+		return ris.SnapshotInfo{}, fmt.Errorf("stopandstare: store is not persistent")
+	}
+	if err := os.MkdirAll(s.opt.StateDir, 0o755); err != nil {
+		return ris.SnapshotInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, err := ps.Persist(s.opt.StateDir)
+	if err == nil {
+		s.snapshotBytes.Store(info.Bytes)
+	}
+	return info, err
 }
 
 // Maximize serves one query from the session's stream. Repeated or refined
@@ -236,19 +301,46 @@ func NewSession(g *Graph, model Model, opt SessionOptions) (*Session, error) {
 // nothing — and return exactly what a cold Maximize with the same seed
 // would.
 func (s *Session) Maximize(q Query) (res *Result, err error) {
+	return s.maximize(context.Background(), q)
+}
+
+// MaximizeContext is Maximize with cooperative cancellation: when ctx fires
+// while the query is growing the RR store, the top-up aborts having mutated
+// NOTHING — the stream, index and width stay exactly as before, so an
+// abandoned query leaves no partial growth behind and the next identical
+// query regenerates the same bit-identical sets. Read-only phases
+// (selection, coverage walks) run to completion; cancellation is honoured
+// at the growth boundaries, where all the unbounded work happens.
+func (s *Session) MaximizeContext(ctx context.Context, q Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.maximize(ctx, q)
+}
+
+// growthCanceled carries a context error out of sessionEnv.Ensure (the
+// error-free core.Exec surface) to maximize's recover, mirroring how
+// *ris.ShardError escapes the error-free Store interface.
+type growthCanceled struct{ err error }
+
+func (s *Session) maximize(ctx context.Context, q Query) (res *Result, err error) {
 	// The Store interface is error-free, so a remote-sharded store raises
 	// worker failures as *ris.ShardError panics; this is the surface that
 	// turns them back into ordinary errors (degraded mode: the session
-	// stays usable and retries once workers return). Lock discipline is
+	// stays usable and retries once workers return). Canceled growths
+	// arrive the same way, as *growthCanceled. Lock discipline is
 	// panic-safe below here — core brackets store reads with deferred
 	// releases — so no session lock is held when we land in this recover.
 	defer func() {
 		if p := recover(); p != nil {
-			se, ok := p.(*ris.ShardError)
-			if !ok {
+			switch v := p.(type) {
+			case *ris.ShardError:
+				res, err = nil, v
+			case *growthCanceled:
+				res, err = nil, v.err
+			default:
 				panic(p)
 			}
-			res, err = nil, se
 		}
 	}()
 	algo := q.Algorithm
@@ -271,7 +363,7 @@ func (s *Session) Maximize(q Query) (res *Result, err error) {
 	if s.inst != nil && q.K >= 1 {
 		copt.OptLowerBound = s.inst.OptLowerBound(q.K)
 	}
-	env := sessionEnv{s: s}
+	env := sessionEnv{s: s, ctx: ctx}
 	var cres *core.Result
 	if algo == DSSA {
 		cres, err = core.DSSAWith(copt, env)
@@ -329,6 +421,8 @@ func (s *Session) Stats() SessionStats {
 		GraphResidentBytes: s.g.ResidentBytes(),
 		GraphMappedBytes:   s.g.MappedBytes(),
 		Solvers:            nsolv,
+		Recovered:          s.recovered,
+		SnapshotBytes:      s.snapshotBytes.Load(),
 	}
 }
 
@@ -390,10 +484,13 @@ func (s *Session) solverFor(k int) *kSolver {
 func DropCachedPlans(g *Graph) { ris.DropCachedPlans(g) }
 
 // sessionEnv adapts a Session to core.Exec: read-only query phases share
-// the session's read lock, store top-ups take the write lock, solves go
-// through the per-k solver cache, and coverage walks use pooled scratch so
-// concurrent queries never share mutable state.
-type sessionEnv struct{ s *Session }
+// the session's read lock, store top-ups take the write lock (honouring the
+// query's context), solves go through the per-k solver cache, and coverage
+// walks use pooled scratch so concurrent queries never share mutable state.
+type sessionEnv struct {
+	s   *Session
+	ctx context.Context
+}
 
 func (e sessionEnv) Store() ris.Store { return e.s.store }
 
@@ -408,11 +505,19 @@ func (e sessionEnv) Ensure(target int) bool {
 	var grew bool
 	func() {
 		s.mu.Lock()
-		// Deferred so a remote shard's failure panic (*ris.ShardError)
-		// cannot leak the write lock on its way to Maximize's recover.
+		// Deferred so a remote shard's failure panic (*ris.ShardError) or a
+		// canceled growth (*growthCanceled, raised below) cannot leak the
+		// write lock on its way to maximize's recover.
 		defer s.mu.Unlock()
 		grew = s.store.Len() < target // another query may have topped up first
-		s.store.GenerateTo(target)
+		if cs, ok := s.store.(ris.ContextStore); ok {
+			if err := cs.GenerateToCtx(e.ctx, target); err != nil {
+				grew = false // canceled top-ups mutate nothing
+				panic(&growthCanceled{err: err})
+			}
+		} else {
+			s.store.GenerateTo(target)
+		}
 	}()
 	if grew {
 		s.growths.Add(1)
